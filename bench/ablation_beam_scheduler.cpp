@@ -1,0 +1,147 @@
+// Ablation: the paper's analytic lower-bound sizing vs an operational
+// time-stepped beam scheduler over a propagated Walker shell.
+//
+// Two experiments:
+//   (a) Validate the latitude-density model against the propagated shell —
+//       the analytic rho(phi) the sizing formula inverts.
+//   (b) Scale the shell and measure achieved cell coverage of the greedy
+//       scheduler on a reduced national profile; the analytic model's
+//       satellite requirement should bracket where coverage saturates.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "leodivide/core/sizing.hpp"
+#include "leodivide/orbit/density.hpp"
+#include "leodivide/sim/maxflow.hpp"
+#include "leodivide/sim/simulation.hpp"
+
+int main() {
+  using namespace leodivide;
+  bench::banner("Ablation (a): analytic vs propagated satellite density");
+
+  const orbit::WalkerShell shell = orbit::starlink_shell1();
+  const auto empirical = orbit::empirical_density_per_km2(shell, 400, 36);
+  io::TextTable dtable;
+  dtable.set_header({"latitude band", "analytic (sats/Mkm^2)",
+                     "propagated (sats/Mkm^2)", "err"});
+  for (int band = 0; band < 36; ++band) {
+    const double lat = -90.0 + (band + 0.5) * 5.0;
+    // Northern covered bands only; the band straddling the 53-degree
+    // inclination limit is skipped (the analytic density diverges there).
+    if (lat < 0.0 || lat > 50.0) continue;
+    const double analytic =
+        orbit::surface_density_per_km2(shell.total_sats(), lat, 53.0) * 1e6;
+    const double measured = empirical[static_cast<std::size_t>(band)] * 1e6;
+    dtable.add_row({io::fmt(lat - 2.5, 0) + ".." + io::fmt(lat + 2.5, 0),
+                    io::fmt(analytic, 3), io::fmt(measured, 3),
+                    analytic > 0.0 ? bench::rel_err(measured, analytic)
+                                   : "n/a"});
+  }
+  std::cout << dtable.render() << '\n';
+
+  bench::banner("Ablation (b): greedy scheduler coverage vs shell size");
+  // Full national profile: the beam shortfall only appears at full demand
+  // density (a sparse subsample fits easily in any shell's beam budget).
+  const auto& profile = bench::national_profile();
+  std::cout << "profile: " << profile.cell_count() << " cells, "
+            << io::fmt_count(static_cast<long long>(
+                   profile.total_locations()))
+            << " locations (full scale)\n\n";
+
+  io::TextTable stable;
+  stable.set_header({"shell", "satellites", "mean cell coverage",
+                     "min cell coverage", "mean beam util",
+                     "sats serving US"});
+  const orbit::WalkerShell shells[] = {
+      {53.0, 550.0, 24, 11, 1},   // 264
+      {53.0, 550.0, 36, 15, 1},   // 540
+      {53.0, 550.0, 72, 22, 1},   // 1584 (Starlink shell 1)
+      {53.0, 550.0, 108, 30, 1},  // 3240
+      {53.0, 550.0, 144, 44, 1},  // 6336
+  };
+  for (const auto& s : shells) {
+    sim::SimulationConfig config;
+    config.shell = s;
+    config.duration_s = 240.0;
+    config.step_s = 120.0;
+    config.scheduler.beamspread = 5;
+    const auto report = sim::Simulation(config, profile).run_report();
+    stable.add_row({s.to_string(), io::fmt_count(s.total_sats()),
+                    io::fmt(report.mean_cell_coverage, 3),
+                    io::fmt(report.min_cell_coverage, 3),
+                    io::fmt(report.mean_beam_utilization, 3),
+                    io::fmt(report.mean_satellites_in_view, 1)});
+  }
+  std::cout << stable.render() << '\n';
+
+  bench::banner("Ablation (c): greedy strategies vs the max-flow bound");
+  // One epoch, shell 1, full profile: compare the three greedy selection
+  // strategies against the exact fractional optimum (Dinic max-flow on
+  // beam slots) — how much of the shortfall is algorithmic vs fundamental?
+  {
+    const auto orbits = orbit::make_constellation(orbit::starlink_shell1());
+    const auto states = orbit::propagate_all(orbits, 300.0);
+    const core::SatelliteCapacityModel capacity;
+    const auto cells =
+        sim::BeamScheduler::cells_from_profile(profile, capacity, 20.0);
+
+    sim::SchedulerConfig config;
+    config.beamspread = 5;
+    const auto bound = sim::optimal_slot_bound(cells, states, config);
+
+    io::TextTable stratt;
+    stratt.set_header({"allocator", "cells served", "locations served",
+                       "slot coverage"});
+    const struct {
+      const char* name;
+      sim::Strategy strategy;
+    } strategies[] = {{"greedy most-slack", sim::Strategy::kMostSlack},
+                      {"greedy first-fit", sim::Strategy::kFirstFit},
+                      {"greedy best-fit", sim::Strategy::kBestFit}};
+    for (const auto& s : strategies) {
+      sim::SchedulerConfig sc = config;
+      sc.strategy = s.strategy;
+      const sim::BeamScheduler scheduler(cells, sc);
+      const auto r = scheduler.schedule(states);
+      // Served slots under the same accounting as the flow bound: whole
+      // beams cost beams * beamspread slots, shared assignments one slot.
+      std::int64_t slots = 0;
+      for (const auto& a : r.assignments) {
+        slots += cells[a.cell].beams_needed >= 2
+                     ? static_cast<std::int64_t>(
+                           cells[a.cell].beams_needed) * config.beamspread
+                     : 1;
+      }
+      stratt.add_row({s.name,
+                      io::fmt_count(static_cast<long long>(
+                          r.assignments.size())),
+                      io::fmt_count(static_cast<long long>(
+                          r.locations_served)),
+                      io::fmt(static_cast<double>(slots) /
+                                  static_cast<double>(bound.slots_demanded),
+                              3)});
+    }
+    stratt.add_row({"max-flow optimum (fractional)", "-", "-",
+                    io::fmt(bound.slot_coverage, 3)});
+    std::cout << stratt.render() << '\n';
+    std::cout << "The gap between every greedy variant and the max-flow "
+                 "optimum is small: the shortfall is fundamental (beam "
+                 "budget x visibility), not an artefact of greedy "
+                 "allocation.\n\n";
+  }
+
+  std::cout
+      << "Reading: the Gen1 shell (1,584 satellites) covers only a small "
+         "fraction of the demand cells, and coverage grows with shell size "
+         "— the paper's P1/P2 story, observed operationally. The simulator "
+         "saturates sooner than the analytic Table-2 sizes because a cell "
+         "may be served by ANY satellite within its ~940 km footprint "
+         "radius (load spreads across neighbours), whereas the paper's "
+         "lower bound conservatively assigns each satellite a disjoint "
+         "1 + (24-b)*s cell neighbourhood. The two agree on the headline: "
+         "thousands of additional satellites are needed for full US "
+         "coverage at acceptable oversubscription.\n";
+  return 0;
+}

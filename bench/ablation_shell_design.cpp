@@ -1,0 +1,83 @@
+// Ablation: shell-inclination design. The paper's sizing model puts the
+// binding demand cell at ~36.5 deg N, far from the 53-degree band where a
+// Walker shell's density peaks. How much smaller could the fleet be if the
+// shells were chosen for the demand geography? This is the design question
+// the paper's P2 analysis directly motivates.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "leodivide/core/sizing.hpp"
+#include "leodivide/orbit/shells.hpp"
+
+int main() {
+  using namespace leodivide;
+  bench::banner("Ablation: shell inclination vs required fleet");
+
+  const core::SizingModel base_model;
+  const auto& profile = bench::national_profile();
+
+  // The binding cell of the 20:1 scenario (the paper's Table 2, col 3).
+  const auto binding = core::size_with_cap(profile, base_model, 1.0, 20.0);
+  const double phi = binding.binding_lat_deg;
+  std::cout << "binding cell latitude: " << io::fmt(phi, 2)
+            << " deg N (needs " << binding.beams_on_binding << " beams)\n\n";
+
+  // (a) Single-shell inclination sweep: satellites needed so the shell's
+  // density at phi supports one satellite per 1 + 20 s cells (s = 1).
+  const double area_per_sat =
+      base_model.capacity.plan().cells_served_per_satellite(1.0, 4) *
+      base_model.cell_area_km2;
+  io::TextTable single;
+  single.set_header({"inclination (deg)", "satellites (s=1, 20:1)",
+                     "vs 53 deg", "max covered latitude"});
+  const double at53 = orbit::constellation_size_for_density(
+      1.0 / area_per_sat, phi, 53.0);
+  for (double incl : {40.0, 43.0, 45.0, 48.0, 53.0, 60.0, 70.0, 85.0}) {
+    if (incl <= phi) continue;  // shell must cover the binding latitude
+    const double n = orbit::constellation_size_for_density(
+        1.0 / area_per_sat, phi, incl);
+    single.add_row({io::fmt(incl, 1), io::fmt_count(std::llround(n)),
+                    bench::rel_err(n, at53), io::fmt(incl, 1) + " deg"});
+  }
+  std::cout << single.render() << '\n';
+
+  // (b) Multi-shell mixtures: today's Gen1 five-shell design vs
+  // demand-optimised alternatives, scaled to the binding density.
+  io::TextTable multi;
+  multi.set_header({"design", "shells", "scaled fleet (s=1, 20:1)",
+                    "vs Gen1 mix"});
+  struct Design {
+    const char* name;
+    orbit::MultiShellConstellation mix;
+  };
+  orbit::MultiShellConstellation low_pair{{{43.0, 550.0, 72, 22, 1},
+                                           {53.0, 550.0, 72, 22, 1}}};
+  orbit::MultiShellConstellation demand_tuned{{{40.0, 550.0, 72, 22, 1},
+                                               {53.0, 550.0, 36, 22, 1},
+                                               {70.0, 570.0, 18, 20, 1}}};
+  const Design designs[] = {
+      {"Starlink Gen1 (5 shells)", orbit::starlink_gen1()},
+      {"43 + 53 deg pair", low_pair},
+      {"demand-tuned 40/53/70", demand_tuned},
+  };
+  const double gen1 =
+      designs[0].mix.size_for_density(1.0 / area_per_sat, phi);
+  for (const auto& d : designs) {
+    const double n = d.mix.size_for_density(1.0 / area_per_sat, phi);
+    multi.add_row({d.name, std::to_string(d.mix.shells().size()),
+                   io::fmt_count(std::llround(n)), bench::rel_err(n, gen1)});
+  }
+  std::cout << multi.render() << '\n';
+
+  std::cout
+      << "Reading: a shell inclined just above the binding latitude "
+         "concentrates its dwell time where the demand is, cutting the "
+         "required fleet vs a 53-degree shell — but it also shrinks the "
+         "covered latitude band (no service above the inclination), which "
+         "is why real designs mix shells. The paper's 'anyone, anywhere' "
+         "requirement (P1: full coverage) is exactly what forbids the "
+         "cheap, demand-only design.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+// Shared plumbing for the per-table/per-figure bench binaries: the national
+// calibrated profile (generated once) and paper-vs-measured row helpers.
+
+#include <iostream>
+#include <string>
+
+#include "leodivide/core/scenario.hpp"
+#include "leodivide/demand/generator.hpp"
+#include "leodivide/io/table.hpp"
+
+namespace leodivide::bench {
+
+/// The full-scale calibrated national demand profile (deterministic).
+inline const demand::DemandProfile& national_profile() {
+  static const demand::DemandProfile profile =
+      demand::SyntheticGenerator(demand::GeneratorConfig{}).generate_profile();
+  return profile;
+}
+
+/// Relative error rendered as a percentage string ("+0.05%").
+inline std::string rel_err(double measured, double paper) {
+  if (paper == 0.0) return "n/a";
+  const double e = (measured - paper) / paper * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", e);
+  return buf;
+}
+
+/// Standard bench banner.
+inline void banner(const std::string& title) {
+  std::cout << "==================================================\n"
+            << title << '\n'
+            << "==================================================\n";
+}
+
+}  // namespace leodivide::bench

@@ -1,0 +1,88 @@
+// Extension: latency and ISL reachability. Section 2.1 motivates LEO by
+// the ~33,000 km orbit-height gap to GEO; Section 2.2 notes satellites
+// reach the Internet either bent-pipe or over inter-satellite links. This
+// bench quantifies both: the LEO/GEO latency gap, and how many ISL hops a
+// satellite needs to reach a gateway-connected peer as the gateway count
+// varies.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "leodivide/orbit/footprint.hpp"
+#include "leodivide/orbit/isl.hpp"
+#include "leodivide/stats/rng.hpp"
+
+int main() {
+  using namespace leodivide;
+  bench::banner("Extension: bent-pipe latency, LEO vs GEO");
+
+  io::TextTable lat;
+  lat.set_header({"architecture", "UT slant (km)", "GW slant (km)",
+                  "one-way (ms)", "RTT (ms)"});
+  const struct {
+    const char* name;
+    double ut_km;
+    double gw_km;
+  } rows[] = {
+      {"LEO 550 km, overhead", 550.0, 550.0},
+      {"LEO 550 km, edge of footprint (25 deg)", 1123.0, 1123.0},
+      {"GEO 35,786 km", 35786.0, 35786.0},
+  };
+  for (const auto& r : rows) {
+    const double one_way = orbit::bent_pipe_delay_ms(r.ut_km, r.gw_km);
+    lat.add_row({r.name, io::fmt(r.ut_km, 0), io::fmt(r.gw_km, 0),
+                 io::fmt(one_way, 2), io::fmt(2.0 * one_way, 2)});
+  }
+  std::cout << lat.render() << '\n';
+
+  bench::banner("Extension: ISL hops to the nearest gateway-connected sat");
+  const orbit::WalkerShell shell = orbit::starlink_shell1();
+  const orbit::IslGrid grid(shell);
+  std::cout << "shell " << shell.to_string() << ", +grid ISLs; intra-plane "
+               "link length "
+            << io::fmt(grid.intra_plane_link_km(), 0) << " km ("
+            << io::fmt(orbit::propagation_delay_ms(
+                           grid.intra_plane_link_km()),
+                       2)
+            << " ms per hop)\n\n";
+
+  io::TextTable hops;
+  hops.set_header({"gateway-connected sats", "mean hops", "max hops",
+                   "mean extra latency (ms)"});
+  stats::Pcg32 rng(2024);
+  for (std::uint32_t gateways : {8U, 16U, 32U, 64U, 128U, 256U}) {
+    // Random gateway-connected subset (deterministic seed).
+    std::vector<std::uint32_t> sources;
+    while (sources.size() < gateways) {
+      const std::uint32_t s = rng.next_below(grid.size());
+      if (std::find(sources.begin(), sources.end(), s) == sources.end()) {
+        sources.push_back(s);
+      }
+    }
+    const auto dist = grid.hops_to_nearest(sources);
+    double sum = 0.0;
+    std::uint32_t mx = 0;
+    for (std::uint32_t d : dist) {
+      sum += d;
+      mx = std::max(mx, d);
+    }
+    const double mean = sum / static_cast<double>(dist.size());
+    hops.add_row({io::fmt_count(gateways), io::fmt(mean, 2),
+                  io::fmt_count(mx),
+                  io::fmt(mean * orbit::propagation_delay_ms(
+                                     grid.intra_plane_link_km()),
+                          2)});
+  }
+  std::cout << hops.render() << '\n';
+
+  std::cout << "Reading: LEO's bent-pipe RTT is two orders of magnitude "
+               "below GEO's — the performance story that makes LEO a "
+               "credible broadband substitute (Section 2.1). With ISLs, a "
+               "few dozen gateway-connected satellites keep every "
+               "satellite within a handful of ~6.6 ms hops, so coverage "
+               "(not backhaul reachability) remains the binding "
+               "constraint the paper analyses.\n";
+  return 0;
+}

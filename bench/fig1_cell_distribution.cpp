@@ -1,0 +1,74 @@
+// Figure 1: distribution of un(der)served locations per Starlink service
+// cell — histogram (left panel) + CDF (right panel) + the three annotated
+// statistics (p90 = 552, p99 = 1437, max = 5998).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "leodivide/stats/cdf.hpp"
+#include "leodivide/stats/histogram.hpp"
+#include "leodivide/stats/lorenz.hpp"
+#include "leodivide/stats/percentile.hpp"
+
+int main() {
+  using namespace leodivide;
+  bench::banner("Figure 1: un(der)served locations per service cell");
+
+  const auto& profile = bench::national_profile();
+  const auto counts = profile.counts_as_doubles();
+
+  std::cout << "cells with >= 1 un(der)served location: "
+            << io::fmt_count(static_cast<long long>(profile.cell_count()))
+            << "\ntotal un(der)served locations:          "
+            << io::fmt_count(static_cast<long long>(profile.total_locations()))
+            << "\n\n";
+
+  // Left panel: histogram over [0, 6000] in 50 bins.
+  stats::Histogram hist(0.0, 6000.0, 50);
+  hist.add_all(counts);
+  std::cout << "Histogram (# of cells per bin):\n" << hist.ascii(48) << '\n';
+
+  // Right panel: CDF at round thresholds.
+  const stats::EmpiricalCdf cdf(counts);
+  io::TextTable cdf_table;
+  cdf_table.set_header({"locations/cell <=", "cumulative probability"});
+  for (double x : {62.0, 100.0, 250.0, 552.0, 1000.0, 1437.0, 2000.0, 3000.0,
+                   4000.0, 5000.0, 5998.0}) {
+    cdf_table.add_row({io::fmt(x, 0), io::fmt(cdf(x), 4)});
+  }
+  std::cout << "CDF:\n" << cdf_table.render() << '\n';
+
+  // The paper's annotated statistics.
+  io::TextTable stats_table;
+  stats_table.set_header({"Statistic", "Paper", "Measured", "Rel. err"});
+  const double p90 = stats::percentile(counts, 90.0);
+  const double p99 = stats::percentile(counts, 99.0);
+  const double mx = cdf.max();
+  stats_table.add_row({"90th percentile (locs/cell)", "552",
+                       io::fmt(p90, 0), bench::rel_err(p90, 552.0)});
+  stats_table.add_row({"99th percentile (locs/cell)", "1437",
+                       io::fmt(p99, 0), bench::rel_err(p99, 1437.0)});
+  stats_table.add_row({"max density (locs/cell)", "5998", io::fmt(mx, 0),
+                       bench::rel_err(mx, 5998.0)});
+  stats_table.add_row(
+      {"total un(der)served locations", "4,672,500",
+       io::fmt_count(static_cast<long long>(profile.total_locations())),
+       bench::rel_err(static_cast<double>(profile.total_locations()),
+                      4672500.0)});
+  std::cout << "Annotated statistics (paper vs measured):\n"
+            << stats_table.render() << '\n';
+
+  // Companion: how concentrated is the demand? This is the quantitative
+  // form of the paper's "long tail of cell densities" observation that
+  // drives P2 and Figure 3.
+  std::cout << "Concentration of demand across cells:\n"
+            << "  Gini coefficient:          " << io::fmt(stats::gini(counts), 3)
+            << '\n'
+            << "  share held by top 1%:      "
+            << io::fmt_pct(stats::top_share(counts, 0.01), 1) << '\n'
+            << "  share held by top 10%:     "
+            << io::fmt_pct(stats::top_share(counts, 0.10), 1) << '\n'
+            << "  share held by top 50%:     "
+            << io::fmt_pct(stats::top_share(counts, 0.50), 1) << '\n';
+  return 0;
+}

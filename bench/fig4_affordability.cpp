@@ -1,0 +1,82 @@
+// Figure 4 / Finding F4: un- and underserved locations unable to afford
+// service as a function of the acceptable proportion of household income,
+// for the paper's four plans.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "leodivide/afford/affordability.hpp"
+
+int main() {
+  using namespace leodivide;
+  bench::banner("Figure 4: locations unable to afford service");
+
+  const afford::AffordabilityAnalyzer analyzer(bench::national_profile());
+
+  // The four curves sampled on a common x-grid.
+  const auto plans = afford::paper_plans();
+  io::TextTable curves;
+  std::vector<std::string> header{"proportion of income"};
+  for (const auto& p : plans) header.push_back(p.name);
+  curves.set_header(std::move(header));
+  for (double x : {0.005, 0.01, 0.015, 0.02, 0.025, 0.03, 0.035, 0.04, 0.045,
+                   0.05}) {
+    std::vector<std::string> row{io::fmt(x, 3)};
+    for (const auto& p : plans) {
+      row.push_back(io::fmt_count(
+          std::llround(analyzer.evaluate(p, x).locations_unable)));
+    }
+    curves.add_row(std::move(row));
+  }
+  std::cout << curves.render() << '\n';
+
+  // Paper-annotated quantities.
+  io::TextTable table;
+  table.set_header({"Quantity", "Paper", "Measured", "Rel. err"});
+  const auto starlink = analyzer.evaluate(afford::starlink_residential());
+  const auto lifeline =
+      analyzer.evaluate(afford::starlink_residential_lifeline());
+  const auto xfinity = analyzer.evaluate(afford::xfinity_300());
+  const auto spectrum = analyzer.evaluate(afford::spectrum_premier());
+  table.add_row({"unable @2%, Starlink $120", "~3.5M",
+                 io::fmt_count(std::llround(starlink.locations_unable)),
+                 bench::rel_err(starlink.locations_unable, 3.48e6)});
+  table.add_row({"fraction unable, Starlink $120", "74.5%",
+                 io::fmt_pct(starlink.fraction_unable, 1),
+                 bench::rel_err(starlink.fraction_unable, 0.745)});
+  table.add_row({"unable @2%, w/ Lifeline $110.75", "~3.0M",
+                 io::fmt_count(std::llround(lifeline.locations_unable)),
+                 bench::rel_err(lifeline.locations_unable, 2.97e6)});
+  table.add_row({"income needed, Starlink + Lifeline", "$66,450",
+                 "$" + io::fmt_count(std::llround(
+                           lifeline.income_required_usd)),
+                 bench::rel_err(lifeline.income_required_usd, 66450.0)});
+  table.add_row({"fraction unable, Xfinity $40", "<0.01%",
+                 io::fmt_pct(xfinity.fraction_unable, 4), ""});
+  table.add_row({"fraction unable, Spectrum $50", "<0.01%",
+                 io::fmt_pct(spectrum.fraction_unable, 4), ""});
+  table.add_row({"curve end, Starlink $120", "0.050",
+                 io::fmt(analyzer.curve_end(afford::starlink_residential()),
+                         3),
+                 bench::rel_err(
+                     analyzer.curve_end(afford::starlink_residential()),
+                     0.050)});
+  table.add_row(
+      {"curve end, w/ Lifeline", "0.046",
+       io::fmt(analyzer.curve_end(afford::starlink_residential_lifeline()),
+               3),
+       bench::rel_err(
+           analyzer.curve_end(afford::starlink_residential_lifeline()),
+           0.046)});
+  std::cout << table.render() << '\n';
+
+  std::cout << "F4: "
+            << io::fmt(starlink.locations_unable / 1e6, 1) << "M of "
+            << io::fmt(analyzer.income().total_locations() / 1e6, 1)
+            << "M un(der)served locations cannot afford Starlink's "
+               "Residential plan at the 2% income rule; comparable plans "
+               "from other ISPs are affordable for > 99.99% of these "
+               "locations.\n";
+  return 0;
+}

@@ -1,0 +1,183 @@
+// google-benchmark microbenchmarks for the library's hot paths: hex
+// indexing, orbital propagation, visibility, demand aggregation and the
+// sizing sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "leodivide/core/longtail.hpp"
+#include "leodivide/core/sizing.hpp"
+#include "leodivide/demand/aggregate.hpp"
+#include "leodivide/demand/generator.hpp"
+#include "leodivide/hex/polyfill.hpp"
+#include "leodivide/hex/traversal.hpp"
+#include "leodivide/orbit/propagate.hpp"
+#include "leodivide/orbit/visibility.hpp"
+#include "leodivide/orbit/walker.hpp"
+#include "leodivide/hex/compact.hpp"
+#include "leodivide/orbit/isl.hpp"
+#include "leodivide/orbit/tle.hpp"
+#include "leodivide/sim/maxflow.hpp"
+#include "leodivide/stats/distributions.hpp"
+
+namespace {
+
+using namespace leodivide;
+
+const demand::DemandProfile& profile_2pct() {
+  static const demand::DemandProfile p =
+      demand::SyntheticGenerator({.seed = 1, .scale = 0.02})
+          .generate_profile();
+  return p;
+}
+
+void BM_HexCellOf(benchmark::State& state) {
+  const hex::HexGrid grid;
+  stats::Pcg32 rng(7);
+  for (auto _ : state) {
+    const geo::GeoPoint p{25.0 + 24.0 * rng.next_double(),
+                          -124.0 + 57.0 * rng.next_double()};
+    benchmark::DoNotOptimize(grid.cell_of(p, 5));
+  }
+}
+BENCHMARK(BM_HexCellOf);
+
+void BM_HexDisk(benchmark::State& state) {
+  const hex::CellId center(5, {100, -50});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hex::disk(center, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_HexDisk)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_PolyfillBox(benchmark::State& state) {
+  const hex::HexGrid grid;
+  const geo::BoundingBox box{38.0, 41.0, -100.0, -95.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hex::polyfill(grid, box, 5));
+  }
+}
+BENCHMARK(BM_PolyfillBox);
+
+void BM_PropagateShell1(benchmark::State& state) {
+  const auto orbits = orbit::make_constellation(orbit::starlink_shell1());
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 60.0;
+    benchmark::DoNotOptimize(orbit::propagate_all(orbits, t));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(orbits.size()));
+}
+BENCHMARK(BM_PropagateShell1);
+
+void BM_CountVisible(benchmark::State& state) {
+  const auto orbits = orbit::make_constellation(orbit::starlink_shell1());
+  const auto states = orbit::propagate_all(orbits, 123.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        orbit::count_visible({39.5, -98.35}, states, 25.0));
+  }
+}
+BENCHMARK(BM_CountVisible);
+
+void BM_GenerateProfileSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    const demand::SyntheticGenerator gen({.seed = 3, .scale = 0.005});
+    benchmark::DoNotOptimize(gen.generate_profile());
+  }
+}
+BENCHMARK(BM_GenerateProfileSmall);
+
+void BM_AggregateLocations(benchmark::State& state) {
+  const demand::SyntheticGenerator gen({.seed = 3, .scale = 0.005});
+  const auto dataset = gen.expand_locations(gen.generate_profile());
+  const hex::HexGrid grid;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(demand::aggregate(dataset, grid, 5));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_AggregateLocations);
+
+void BM_SizeWithCap(benchmark::State& state) {
+  const core::SizingModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::size_with_cap(profile_2pct(), model, 5.0, 20.0));
+  }
+}
+BENCHMARK(BM_SizeWithCap);
+
+void BM_LongtailCurve(benchmark::State& state) {
+  const core::SizingModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::longtail_curve(profile_2pct(), model, 10.0, 20.0));
+  }
+}
+BENCHMARK(BM_LongtailCurve);
+
+void BM_WeightedAliasDraw(benchmark::State& state) {
+  std::vector<double> weights(3143);
+  stats::Pcg32 seed_rng(5);
+  for (auto& w : weights) w = seed_rng.next_double() + 0.01;
+  const stats::WeightedAlias alias(weights);
+  stats::Pcg32 rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alias(rng));
+  }
+}
+BENCHMARK(BM_WeightedAliasDraw);
+
+void BM_CompactConusRegion(benchmark::State& state) {
+  const hex::HexGrid grid;
+  const auto cells =
+      hex::polyfill(grid, geo::BoundingBox{36.0, 42.0, -104.0, -94.0}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hex::compact(grid, cells, 3));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_CompactConusRegion);
+
+void BM_IslHopsToNearest(benchmark::State& state) {
+  const orbit::IslGrid grid(orbit::starlink_shell1());
+  std::vector<std::uint32_t> sources;
+  for (std::uint32_t i = 0; i < 64; ++i) sources.push_back(i * 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.hops_to_nearest(sources));
+  }
+}
+BENCHMARK(BM_IslHopsToNearest);
+
+void BM_TleRoundTrip(benchmark::State& state) {
+  const orbit::CircularOrbit orbit{550.0, 0.925, 1.2, 0.4};
+  for (auto _ : state) {
+    const std::string text = orbit::to_tle(orbit, 44444);
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(orbit::read_tle_catalog(in));
+  }
+}
+BENCHMARK(BM_TleRoundTrip);
+
+void BM_OptimalSlotBound(benchmark::State& state) {
+  const auto orbits = orbit::make_constellation(orbit::starlink_shell1());
+  const auto states = orbit::propagate_all(orbits, 100.0);
+  const core::SatelliteCapacityModel capacity;
+  const auto cells = sim::BeamScheduler::cells_from_profile(
+      profile_2pct(), capacity, 20.0);
+  sim::SchedulerConfig config;
+  config.beamspread = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::optimal_slot_bound(cells, states, config));
+  }
+}
+BENCHMARK(BM_OptimalSlotBound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Table 1: the Starlink single-satellite capacity model, plus the F1
+// oversubscription finding. Every row is printed paper-vs-measured.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "leodivide/core/capacity_model.hpp"
+#include "leodivide/core/oversubscription.hpp"
+#include "leodivide/core/report.hpp"
+#include "leodivide/spectrum/linkbudget.hpp"
+
+int main() {
+  using namespace leodivide;
+  bench::banner("Table 1: Starlink single-satellite capacity model");
+
+  const core::SatelliteCapacityModel model;
+  const auto& profile = bench::national_profile();
+  const core::Table1Summary t = model.table1(profile);
+
+  // Spectrum rows exactly as in the paper's band table.
+  io::TextTable bands;
+  bands.set_header({"Band (GHz)", "# Beams", "Usage"});
+  for (const auto& b : model.plan().spectrum().bands()) {
+    bands.add_row({b.name + " (" + io::fmt(b.width_mhz(), 0) + " MHz)",
+                   std::to_string(b.beams), spectrum::to_string(b.usage)});
+  }
+  std::cout << bands.render() << '\n';
+
+  io::TextTable table;
+  table.set_header({"Parameter", "Paper", "Measured", "Rel. err"});
+  table.add_row({"UT downlink spectrum (MHz)", "3850",
+                 io::fmt(t.ut_downlink_mhz, 0),
+                 bench::rel_err(t.ut_downlink_mhz, 3850.0)});
+  table.add_row({"Total spectrum incl. GW (MHz)", "8850",
+                 io::fmt(t.total_mhz, 0), bench::rel_err(t.total_mhz, 8850.0)});
+  table.add_row({"UT beams", "24", std::to_string(t.ut_beams),
+                 bench::rel_err(t.ut_beams, 24.0)});
+  table.add_row({"Total beams", "28", std::to_string(t.total_beams),
+                 bench::rel_err(t.total_beams, 28.0)});
+  table.add_row({"Spectral efficiency (bps/Hz)", "4.5",
+                 io::fmt(t.spectral_efficiency, 1),
+                 bench::rel_err(t.spectral_efficiency, 4.5)});
+  table.add_row({"Max per-cell capacity (Gbps)", "17.3",
+                 io::fmt(t.max_cell_capacity_gbps, 3),
+                 bench::rel_err(t.max_cell_capacity_gbps, 17.325)});
+  table.add_row({"Peak cell users", "5998",
+                 io::fmt_count(t.peak_cell_users),
+                 bench::rel_err(t.peak_cell_users, 5998.0)});
+  table.add_row({"Peak cell DL demand (Gbps)", "599.8",
+                 io::fmt(t.peak_cell_demand_gbps, 1),
+                 bench::rel_err(t.peak_cell_demand_gbps, 599.8)});
+  table.add_row({"Max DL oversubscription", "~35:1",
+                 io::fmt(t.max_oversubscription, 2) + ":1",
+                 bench::rel_err(t.max_oversubscription, 34.62)});
+  std::cout << table.render() << '\n';
+
+  // Cross-check of the 4.5 bps/Hz assumption from the link-budget module.
+  const spectrum::LinkBudget budget;
+  std::cout << "Link-budget cross-check: C/N = "
+            << io::fmt(spectrum::carrier_to_noise_db(budget), 1)
+            << " dB -> DVB-S2X MODCOD efficiency "
+            << io::fmt(spectrum::achievable_efficiency(budget), 2)
+            << " bps/Hz (paper adopts 4.5; Shannon bound "
+            << io::fmt(spectrum::shannon_bound_efficiency(budget), 2)
+            << ")\n\n";
+
+  // F1.
+  bench::banner("Finding F1: oversubscription");
+  const auto f1 = core::analyze_oversubscription(profile, model);
+  io::TextTable ftab;
+  ftab.set_header({"Quantity", "Paper", "Measured", "Rel. err"});
+  ftab.add_row({"Peak oversubscription", "35:1",
+                io::fmt(f1.peak_oversubscription, 2) + ":1",
+                bench::rel_err(f1.peak_oversubscription, 34.62)});
+  ftab.add_row({"Locations served above 20:1", "22,428",
+                io::fmt_count(static_cast<long long>(f1.locations_above_cap)),
+                bench::rel_err(static_cast<double>(f1.locations_above_cap),
+                               22428.0)});
+  ftab.add_row(
+      {"Share of total", "0.48%", io::fmt_pct(
+           static_cast<double>(f1.locations_above_cap) /
+           static_cast<double>(f1.total_locations)),
+       ""});
+  ftab.add_row({"Unservable at 20:1", "5,128 (17.3 Gbps) / 5,103 (17.325)",
+                io::fmt_count(static_cast<long long>(
+                    f1.locations_unservable_at_cap)),
+                bench::rel_err(
+                    static_cast<double>(f1.locations_unservable_at_cap),
+                    5103.0)});
+  ftab.add_row({"Servable fraction at 20:1", "99.89%",
+                io::fmt_pct(f1.servable_fraction_at_cap),
+                bench::rel_err(f1.servable_fraction_at_cap, 0.9989)});
+  std::cout << ftab.render();
+  return 0;
+}

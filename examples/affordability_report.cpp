@@ -1,0 +1,73 @@
+// Affordability report: evaluate any plan price against the un(der)served
+// income distribution, with and without the Lifeline subsidy, at a
+// configurable affordability threshold.
+//
+//   $ ./affordability_report [monthly_usd] [threshold]
+//
+// Defaults: $120/month (Starlink Residential), 2% of monthly income (the
+// A4AI / UN Broadband Commission "1 for 2" rule).
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "leodivide/afford/affordability.hpp"
+#include "leodivide/demand/generator.hpp"
+#include "leodivide/io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace leodivide;
+
+  const double monthly = argc > 1 ? std::atof(argv[1]) : 120.0;
+  const double threshold = argc > 2 ? std::atof(argv[2]) : 0.02;
+  if (monthly < 0.0 || threshold <= 0.0) {
+    std::cerr << "usage: affordability_report [monthly_usd] [threshold]\n";
+    return 1;
+  }
+
+  std::cout << "generating national demand profile...\n\n";
+  const demand::DemandProfile profile =
+      demand::SyntheticGenerator{demand::GeneratorConfig{}}
+          .generate_profile();
+  const afford::AffordabilityAnalyzer analyzer(profile);
+
+  const afford::ServicePlan plan{"Custom plan", monthly, {100.0, 20.0}};
+  const afford::ServicePlan subsidized{"Custom plan w/ Lifeline",
+                                       afford::with_lifeline(monthly),
+                                       {100.0, 20.0}};
+
+  io::TextTable table;
+  table.set_header({"Plan", "$/month", "Income needed",
+                    "Locations unable", "Fraction"});
+  for (const auto& p : {plan, subsidized}) {
+    const auto r = analyzer.evaluate(p, threshold);
+    table.add_row({p.name, io::fmt(p.monthly_usd, 2),
+                   "$" + io::fmt_count(std::llround(r.income_required_usd)),
+                   io::fmt_count(std::llround(r.locations_unable)),
+                   io::fmt_pct(r.fraction_unable, 1)});
+  }
+  std::cout << "At a " << io::fmt_pct(threshold, 1)
+            << "-of-monthly-income affordability rule:\n"
+            << table.render() << '\n';
+
+  // Price sensitivity: how cheap must the plan get?
+  io::TextTable sweep;
+  sweep.set_header({"$/month", "locations unable", "fraction"});
+  for (double price : {20.0, 40.0, 50.0, 60.0, 80.0, 100.0, 110.75, 120.0,
+                       150.0}) {
+    const auto r = analyzer.evaluate(
+        afford::ServicePlan{"sweep", price, {100.0, 20.0}}, threshold);
+    sweep.add_row({io::fmt(price, 2),
+                   io::fmt_count(std::llround(r.locations_unable)),
+                   io::fmt_pct(r.fraction_unable, 2)});
+  }
+  std::cout << "Price sensitivity:\n" << sweep.render() << '\n';
+
+  // Where does the price have to land for near-universal affordability?
+  const double p999 = analyzer.income().income_quantile(0.001) * threshold /
+                      12.0;
+  std::cout << "For 99.9% of un(der)served locations to afford service at "
+               "this rule, the monthly price must not exceed $"
+            << io::fmt(p999, 2) << ".\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// National analysis: the full paper pipeline with dataset persistence.
+//
+//   $ ./national_analysis [output_dir]
+//
+// Generates the calibrated national profile, saves it as CSV (cells +
+// counties) so it can be inspected or replaced with a real FCC Broadband
+// Data Collection extract, reloads it, runs the complete analysis, and
+// writes a machine-readable JSON summary next to the CSVs.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "leodivide/core/report.hpp"
+#include "leodivide/demand/generator.hpp"
+#include "leodivide/demand/geojson.hpp"
+#include "leodivide/io/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace leodivide;
+  namespace fs = std::filesystem;
+
+  const fs::path out_dir = argc > 1 ? argv[1] : "national_analysis_out";
+  fs::create_directories(out_dir);
+
+  // 1. Generate and persist the dataset.
+  std::cout << "[1/4] generating calibrated national demand profile...\n";
+  const demand::SyntheticGenerator generator{demand::GeneratorConfig{}};
+  const demand::DemandProfile profile = generator.generate_profile();
+  {
+    std::ofstream cells(out_dir / "cells.csv");
+    std::ofstream counties(out_dir / "counties.csv");
+    profile.save_csv(cells, counties);
+  }
+  std::cout << "      wrote " << (out_dir / "cells.csv") << " ("
+            << profile.cell_count() << " cells) and "
+            << (out_dir / "counties.csv") << " ("
+            << profile.counties().size() << " counties)\n";
+
+  // 2. Reload (the same path a user with real BDC data would take).
+  std::cout << "[2/4] reloading profile from CSV...\n";
+  std::ifstream cells_in(out_dir / "cells.csv");
+  std::ifstream counties_in(out_dir / "counties.csv");
+  const demand::DemandProfile loaded =
+      demand::DemandProfile::load_csv(cells_in, counties_in);
+
+  // 3. Run the complete analysis.
+  std::cout << "[3/4] running the full analysis...\n\n";
+  const core::AnalysisResults results = core::run_full_analysis(loaded);
+  std::cout << core::render_report(results) << "\n";
+
+  // 4. Export machine-readable results.
+  std::cout << "[4/4] writing JSON summary...\n";
+  std::ofstream json_out(out_dir / "results.json");
+  io::JsonWriter json(json_out);
+  json.begin_object();
+  json.value("total_locations",
+             static_cast<long long>(loaded.total_locations()));
+  json.value("peak_cell_locations",
+             static_cast<long long>(loaded.peak_cell_count()));
+  json.value("peak_oversubscription", results.f1.peak_oversubscription);
+  json.value("locations_above_20to1",
+             static_cast<long long>(results.f1.locations_above_cap));
+  json.value("unservable_at_20to1",
+             static_cast<long long>(results.f1.locations_unservable_at_cap));
+  json.begin_array("table2");
+  for (const auto& row : results.table2) {
+    json.begin_object();
+    json.value("beamspread", row.beamspread);
+    json.value("satellites_full_service", row.satellites_full_service);
+    json.value("satellites_capped_20to1", row.satellites_capped);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("affordability");
+  for (const auto& p : results.fig4) {
+    json.begin_object();
+    json.value("plan", p.plan.name);
+    json.value("monthly_usd", p.plan.monthly_usd);
+    json.value("locations_unable", p.locations_unable);
+    json.value("fraction_unable", p.fraction_unable);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json_out << '\n';
+  std::cout << "      wrote " << (out_dir / "results.json") << '\n';
+
+  // Bonus: the densest cells as GeoJSON for any GIS viewer.
+  {
+    std::ofstream geo_out(out_dir / "dense_cells.geojson");
+    demand::write_geojson(geo_out, loaded, hex::HexGrid(),
+                          /*min_locations=*/1000);
+    std::cout << "      wrote " << (out_dir / "dense_cells.geojson")
+              << " (cells with >= 1000 un(der)served locations)\n";
+  }
+  return 0;
+}

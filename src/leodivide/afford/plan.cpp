@@ -1,0 +1,32 @@
+#include "leodivide/afford/plan.hpp"
+
+#include <algorithm>
+
+namespace leodivide::afford {
+
+double with_lifeline(double monthly_usd) noexcept {
+  return std::max(0.0, monthly_usd - kLifelineSubsidyUsd);
+}
+
+ServicePlan starlink_residential() {
+  return {"Starlink Residential", 120.0, {150.0, 20.0}};
+}
+
+ServicePlan starlink_residential_lifeline() {
+  return {"Starlink Residential w/ Lifeline",
+          with_lifeline(120.0),
+          {150.0, 20.0}};
+}
+
+ServicePlan xfinity_300() { return {"Xfinity 300", 40.0, {300.0, 20.0}}; }
+
+ServicePlan spectrum_premier() {
+  return {"Spectrum Internet Premier", 50.0, {500.0, 20.0}};
+}
+
+std::vector<ServicePlan> paper_plans() {
+  return {xfinity_300(), spectrum_premier(), starlink_residential_lifeline(),
+          starlink_residential()};
+}
+
+}  // namespace leodivide::afford

@@ -1,0 +1,40 @@
+#pragma once
+// Retail broadband service plans and subsidies (Section 4 of the paper).
+
+#include <string>
+#include <vector>
+
+#include "leodivide/demand/location.hpp"
+
+namespace leodivide::afford {
+
+/// A retail fixed-broadband plan.
+struct ServicePlan {
+  std::string name;
+  double monthly_usd = 0.0;
+  demand::ServiceLevel speeds;
+
+  /// Meets the federal reliable-broadband definition.
+  [[nodiscard]] bool reliable() const noexcept {
+    return demand::is_reliable(speeds);
+  }
+};
+
+/// The Lifeline subsidy: $9.25/mo off Internet service for households below
+/// 135% of the Federal poverty limit (the paper applies it as the common
+/// best case).
+inline constexpr double kLifelineSubsidyUsd = 9.25;
+
+/// Monthly price after applying Lifeline (floored at zero).
+[[nodiscard]] double with_lifeline(double monthly_usd) noexcept;
+
+/// Plans used in the paper's comparison (Fig 4).
+[[nodiscard]] ServicePlan starlink_residential();       ///< $120/mo
+[[nodiscard]] ServicePlan starlink_residential_lifeline();  ///< $110.75/mo
+[[nodiscard]] ServicePlan xfinity_300();                ///< $40/mo, 300 Mbps
+[[nodiscard]] ServicePlan spectrum_premier();           ///< $50/mo, 500 Mbps
+
+/// All four plans in the paper's Figure 4, cheapest first.
+[[nodiscard]] std::vector<ServicePlan> paper_plans();
+
+}  // namespace leodivide::afford

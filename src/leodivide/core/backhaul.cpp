@@ -1,0 +1,49 @@
+#include "leodivide/core/backhaul.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "leodivide/orbit/density.hpp"
+#include "leodivide/spectrum/efficiency.hpp"
+
+namespace leodivide::core {
+
+BackhaulReport analyze_backhaul(const SatelliteCapacityModel& model,
+                                const BackhaulModel& backhaul) {
+  if (backhaul.feeder_mhz <= 0.0 || backhaul.bps_per_hz <= 0.0 ||
+      backhaul.feeder_links == 0) {
+    throw std::invalid_argument("analyze_backhaul: non-positive model");
+  }
+  BackhaulReport r;
+  // All user beams transmitting simultaneously at per-beam capacity.
+  r.user_capacity_gbps =
+      model.beam_capacity_gbps() *
+      static_cast<double>(model.plan().spectrum().user_beams());
+  r.feeder_capacity_gbps =
+      spectrum::capacity_gbps(backhaul.feeder_mhz, backhaul.bps_per_hz) *
+      static_cast<double>(backhaul.feeder_links);
+  r.adequacy_ratio = r.feeder_capacity_gbps / r.user_capacity_gbps;
+  r.bent_pipe_fraction = std::min(1.0, r.adequacy_ratio);
+  return r;
+}
+
+double gateway_sites_needed(const BackhaulModel& backhaul,
+                            double constellation_size, double inclination_deg,
+                            double lat_deg, double region_area_km2) {
+  if (constellation_size <= 0.0 || region_area_km2 <= 0.0) {
+    throw std::invalid_argument("gateway_sites_needed: non-positive input");
+  }
+  if (backhaul.antennas_per_site == 0) {
+    throw std::invalid_argument("gateway_sites_needed: zero antennas");
+  }
+  const double sats_over_region =
+      orbit::surface_density_per_km2(constellation_size, lat_deg,
+                                     inclination_deg) *
+      region_area_km2;
+  const double links = sats_over_region *
+                       static_cast<double>(backhaul.feeder_links);
+  return std::ceil(links / static_cast<double>(backhaul.antennas_per_site));
+}
+
+}  // namespace leodivide::core

@@ -1,0 +1,55 @@
+#pragma once
+// EXTENSION (not in the paper): gateway backhaul adequacy.
+//
+// Every bit a satellite pours into user cells must first arrive over a
+// feeder uplink from a gateway (bent-pipe) or over ISLs from a satellite
+// that has one. The paper notes the 16 flexible UT/GW beams "add another
+// layer of complexity" and sets the issue aside; this module provides the
+// first-order check: can a satellite's feeder capacity sustain its user
+// beams at full tilt, and how many gateway sites does CONUS need?
+
+#include "leodivide/core/capacity_model.hpp"
+
+namespace leodivide::core {
+
+/// Feeder-link model parameters.
+struct BackhaulModel {
+  /// Feeder (gateway->satellite) spectrum per gateway link [MHz]:
+  /// 2100 MHz of Ka plus 5000 MHz of E-band.
+  double feeder_mhz = 7100.0;
+  /// Feeder spectral efficiency [bps/Hz]; high-gain dishes on both ends.
+  double bps_per_hz = 4.5;
+  /// Simultaneous gateway links per satellite.
+  std::uint32_t feeder_links = 2;
+  /// Gateway antennas per gateway site (typical Starlink site has 8-9
+  /// radomes, each tracking one satellite).
+  std::uint32_t antennas_per_site = 8;
+};
+
+/// Result of the adequacy check for one satellite.
+struct BackhaulReport {
+  double user_capacity_gbps = 0.0;     ///< all 24 UT beams at full tilt
+  double feeder_capacity_gbps = 0.0;   ///< all feeder links combined
+  /// feeder / user: >= 1 means bent-pipe backhaul sustains full user load.
+  double adequacy_ratio = 0.0;
+  /// Fraction of user capacity usable without ISLs.
+  double bent_pipe_fraction = 0.0;
+};
+
+/// Checks one satellite's feeder adequacy under a capacity model.
+[[nodiscard]] BackhaulReport analyze_backhaul(
+    const SatelliteCapacityModel& model, const BackhaulModel& backhaul);
+
+/// Gateway sites needed so every satellite over a region of `region_area_km2`
+/// can hold `feeder_links` gateway connections, given satellites serve from
+/// `altitude_km` with a gateway elevation mask of `min_elevation_deg`.
+/// First-order: sites = ceil(simultaneous satellites over region *
+/// feeder_links / antennas_per_site), with the satellite count derived from
+/// the constellation density at `lat_deg`.
+[[nodiscard]] double gateway_sites_needed(const BackhaulModel& backhaul,
+                                          double constellation_size,
+                                          double inclination_deg,
+                                          double lat_deg,
+                                          double region_area_km2);
+
+}  // namespace leodivide::core

@@ -1,0 +1,32 @@
+#include "leodivide/core/beamspread.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leodivide::core {
+
+double spread_cell_capacity_gbps(const SatelliteCapacityModel& model,
+                                 double beamspread) {
+  return model.plan().spread_cell_capacity_gbps(beamspread);
+}
+
+bool cell_served(const SatelliteCapacityModel& model, std::uint32_t locations,
+                 double beamspread, double oversub) {
+  if (oversub <= 0.0) {
+    throw std::invalid_argument("cell_served: oversub must be > 0");
+  }
+  return model.cell_demand_gbps(locations) <=
+         spread_cell_capacity_gbps(model, beamspread) * oversub;
+}
+
+std::uint32_t max_locations_spread(const SatelliteCapacityModel& model,
+                                   double beamspread, double oversub) {
+  if (oversub <= 0.0) {
+    throw std::invalid_argument("max_locations_spread: oversub must be > 0");
+  }
+  return static_cast<std::uint32_t>(
+      std::floor(spread_cell_capacity_gbps(model, beamspread) * oversub /
+                 demand::location_demand_gbps()));
+}
+
+}  // namespace leodivide::core

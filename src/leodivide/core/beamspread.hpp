@@ -1,0 +1,25 @@
+#pragma once
+// Beamspreading (Section 3.0.2): serving multiple cells with one beam lets a
+// satellite cover more cells than it has beams, at the cost of dividing the
+// beam's channel capacity among the cells it covers.
+
+#include "leodivide/core/capacity_model.hpp"
+
+namespace leodivide::core {
+
+/// Capacity each cell receives when the full cell capacity is spread over
+/// `beamspread` cells [Gbps].
+[[nodiscard]] double spread_cell_capacity_gbps(
+    const SatelliteCapacityModel& model, double beamspread);
+
+/// Whether a cell with `locations` is served within `oversub`:1 when its
+/// capacity is the spread capacity C / beamspread (the Figure-2 criterion).
+[[nodiscard]] bool cell_served(const SatelliteCapacityModel& model,
+                               std::uint32_t locations, double beamspread,
+                               double oversub);
+
+/// Max locations servable per cell under (beamspread, oversub).
+[[nodiscard]] std::uint32_t max_locations_spread(
+    const SatelliteCapacityModel& model, double beamspread, double oversub);
+
+}  // namespace leodivide::core

@@ -1,0 +1,62 @@
+#include "leodivide/core/capacity_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leodivide::core {
+
+SatelliteCapacityModel::SatelliteCapacityModel()
+    : SatelliteCapacityModel(spectrum::starlink_beam_plan()) {}
+
+SatelliteCapacityModel::SatelliteCapacityModel(spectrum::BeamPlan plan)
+    : plan_(std::move(plan)) {}
+
+double SatelliteCapacityModel::cell_demand_gbps(
+    std::uint32_t locations) const {
+  return static_cast<double>(locations) * demand::location_demand_gbps();
+}
+
+double SatelliteCapacityModel::required_oversubscription(
+    std::uint32_t locations) const {
+  return cell_demand_gbps(locations) / cell_capacity_gbps();
+}
+
+std::uint32_t SatelliteCapacityModel::max_locations_at(double oversub) const {
+  if (oversub <= 0.0) {
+    throw std::invalid_argument("max_locations_at: oversub must be > 0");
+  }
+  return static_cast<std::uint32_t>(std::floor(
+      cell_capacity_gbps() * oversub / demand::location_demand_gbps()));
+}
+
+std::uint32_t SatelliteCapacityModel::beams_needed(std::uint32_t locations,
+                                                   double oversub) const {
+  if (oversub <= 0.0) {
+    throw std::invalid_argument("beams_needed: oversub must be > 0");
+  }
+  if (locations == 0) return 0;
+  const double beams = std::ceil(cell_demand_gbps(locations) /
+                                 (oversub * beam_capacity_gbps()));
+  const double cap = static_cast<double>(plan_.beams_per_full_cell());
+  return static_cast<std::uint32_t>(std::min(beams, cap));
+}
+
+Table1Summary SatelliteCapacityModel::table1(
+    const demand::DemandProfile& profile) const {
+  Table1Summary t;
+  t.ut_downlink_mhz = plan_.spectrum().user_downlink_mhz();
+  t.total_mhz = plan_.spectrum().total_mhz();
+  t.ut_beams = plan_.spectrum().user_beams();
+  t.total_beams = plan_.spectrum().total_beams();
+  t.spectral_efficiency = plan_.spectral_efficiency();
+  t.max_cell_capacity_gbps = cell_capacity_gbps();
+  t.peak_cell_users = profile.peak_cell_count();
+  t.required_down_mbps = demand::kReliableDownMbps;
+  t.required_up_mbps = demand::kReliableUpMbps;
+  t.peak_cell_demand_gbps = cell_demand_gbps(t.peak_cell_users);
+  t.max_oversubscription = required_oversubscription(t.peak_cell_users);
+  return t;
+}
+
+}  // namespace leodivide::core

@@ -1,0 +1,58 @@
+#pragma once
+// EXTENSION (not in the paper): serving economics. The paper shows the
+// *physical* diminishing returns of the long tail (Figure 3: thousands of
+// extra satellites for the last locations) and the affordability gap
+// (Figure 4). This module connects them in dollars: amortised constellation
+// cost per served location, and the subscriber revenue the affordability
+// analysis says is actually collectable.
+
+#include <vector>
+
+#include "leodivide/afford/affordability.hpp"
+#include "leodivide/core/longtail.hpp"
+
+namespace leodivide::core {
+
+/// Constellation cost assumptions.
+struct CostModel {
+  /// Build + launch cost per satellite [USD]. Public estimates for
+  /// mass-produced Starlink satellites incl. rideshare launch run
+  /// $0.5M-$1.5M; default mid-range.
+  double cost_per_satellite_usd = 1'000'000.0;
+  /// Satellite lifetime [years] (orbit decay / deorbit policy).
+  double satellite_lifetime_years = 5.0;
+
+  /// Amortised constellation cost [USD/year] for a fleet of `satellites`.
+  [[nodiscard]] double annual_fleet_cost_usd(double satellites) const;
+};
+
+/// Economics of one operating point on the Figure-3 curve.
+struct ServingEconomics {
+  std::uint64_t locations_unserved = 0;
+  double satellites = 0.0;
+  double annual_cost_usd = 0.0;
+  std::uint64_t locations_served = 0;
+  /// Amortised constellation cost per served location [USD/year].
+  double cost_per_location_year_usd = 0.0;
+  /// Marginal cost per *additional* location relative to the previous
+  /// (cheaper) operating point [USD/year]; 0 for the first point.
+  double marginal_cost_per_location_year_usd = 0.0;
+};
+
+/// Evaluates the economics along a long-tail curve for a profile with
+/// `total_locations`. Points are ordered from fewest-served (cheapest) to
+/// most-served, so marginal costs describe the cost of reaching deeper
+/// into the tail. Throws std::invalid_argument on an empty curve or zero
+/// locations.
+[[nodiscard]] std::vector<ServingEconomics> longtail_economics(
+    const std::vector<LongTailPoint>& curve, std::uint64_t total_locations,
+    const CostModel& cost);
+
+/// Collectable annual revenue if every location that can afford the plan
+/// at the 2% rule subscribes at the plan price (an optimistic take-rate
+/// ceiling): affordable_locations * 12 * monthly price.
+[[nodiscard]] double annual_revenue_ceiling_usd(
+    const afford::AffordabilityAnalyzer& analyzer,
+    const afford::ServicePlan& plan);
+
+}  // namespace leodivide::core

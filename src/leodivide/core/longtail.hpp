@@ -1,0 +1,44 @@
+#pragma once
+// The long-tail / diminishing-returns analysis (Figure 3, Finding F3):
+// constellation size required as Starlink walks away from the hardest
+// locations. Serving fewer locations only shrinks the constellation when a
+// beam is freed from the binding cell — hence the stepped curve.
+
+#include <cstdint>
+#include <vector>
+
+#include "leodivide/core/sizing.hpp"
+
+namespace leodivide::core {
+
+/// One step of the long-tail curve.
+struct LongTailPoint {
+  std::uint64_t locations_unserved = 0;  ///< x: locations left unserved
+  double satellites = 0.0;               ///< y: constellation size required
+  std::uint32_t beams_on_binding = 0;
+  double binding_lat_deg = 0.0;
+};
+
+/// Builds the Figure-3 curve for one (beamspread, oversub_cap) pair.
+///
+/// Starting from the fullest service the cap allows (every cell truncated
+/// at the cap), locations are shed greedily from whichever cell currently
+/// binds the constellation size, one beam-threshold at a time, until no
+/// cell needs more than one beam. Points are emitted whenever the required
+/// constellation size changes; the first point is the full-service-at-cap
+/// size (locations_unserved = the cap-unservable residue, 5103 in the
+/// paper's data), and the last is the cheapest multi-beam deployment — the
+/// demand-density model (P2) does not constrain sizes beyond it.
+[[nodiscard]] std::vector<LongTailPoint> longtail_curve(
+    const demand::DemandProfile& profile, const SizingModel& model,
+    double beamspread, double oversub_cap);
+
+/// Satellites required when exactly `unserved_budget` locations may be left
+/// unserved: the smallest curve value whose locations_unserved does not
+/// exceed the budget... i.e. the cheapest deployment meeting the budget.
+/// Throws std::invalid_argument if the budget is below the cap-unservable
+/// residue (no deployment can meet it).
+[[nodiscard]] double satellites_for_unserved_budget(
+    const std::vector<LongTailPoint>& curve, std::uint64_t unserved_budget);
+
+}  // namespace leodivide::core

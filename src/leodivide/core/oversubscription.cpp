@@ -1,0 +1,30 @@
+#include "leodivide/core/oversubscription.hpp"
+
+namespace leodivide::core {
+
+OversubscriptionReport analyze_oversubscription(
+    const demand::DemandProfile& profile, const SatelliteCapacityModel& model,
+    double oversub_cap) {
+  OversubscriptionReport r;
+  r.cell_capacity_gbps = model.cell_capacity_gbps();
+  r.peak_oversubscription =
+      model.required_oversubscription(profile.peak_cell_count());
+  r.max_locations_at_cap = model.max_locations_at(oversub_cap);
+  for (const auto& cell : profile.cells()) {
+    r.total_locations += cell.underserved;
+    if (cell.underserved > r.max_locations_at_cap) {
+      ++r.cells_above_cap;
+      r.locations_above_cap += cell.underserved;
+      r.locations_unservable_at_cap +=
+          cell.underserved - r.max_locations_at_cap;
+    }
+  }
+  r.servable_fraction_at_cap =
+      r.total_locations == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(r.locations_unservable_at_cap) /
+                      static_cast<double>(r.total_locations);
+  return r;
+}
+
+}  // namespace leodivide::core

@@ -1,0 +1,39 @@
+#pragma once
+// Oversubscription analysis (Section 3.0.1, Finding F1): how far ISP-style
+// oversubscription stretches the per-cell channel capacity, and what the
+// FCC's 20:1 fixed-wireless cap leaves unserved.
+
+#include <cstdint>
+
+#include "leodivide/core/capacity_model.hpp"
+
+namespace leodivide::core {
+
+/// The FCC's maximum oversubscription for terrestrial unlicensed fixed
+/// wireless providers — the paper's benchmark for "acceptable".
+inline constexpr double kFccOversubscriptionCap = 20.0;
+
+/// F1's quantities for a demand profile.
+struct OversubscriptionReport {
+  double cell_capacity_gbps = 0.0;
+  double peak_oversubscription = 0.0;     ///< ~35:1 at the peak cell
+  std::uint32_t max_locations_at_cap = 0; ///< 3465 at 20:1
+  std::uint64_t total_locations = 0;
+  /// Locations in cells whose required oversubscription exceeds the cap —
+  /// served at >cap:1 in a full-service deployment (22,428).
+  std::uint64_t locations_above_cap = 0;
+  /// Locations that cannot be served at all within the cap (5103): the
+  /// per-cell excess beyond max_locations_at_cap.
+  std::uint64_t locations_unservable_at_cap = 0;
+  /// Cells whose demand exceeds the cap (5).
+  std::uint32_t cells_above_cap = 0;
+  /// Fraction of locations servable within the cap (0.9989).
+  double servable_fraction_at_cap = 0.0;
+};
+
+/// Evaluates F1 for a profile at `oversub_cap`:1 (default the FCC 20:1).
+[[nodiscard]] OversubscriptionReport analyze_oversubscription(
+    const demand::DemandProfile& profile, const SatelliteCapacityModel& model,
+    double oversub_cap = kFccOversubscriptionCap);
+
+}  // namespace leodivide::core

@@ -1,0 +1,36 @@
+#pragma once
+// Human-readable rendering of an AnalysisResults — the library's "print the
+// paper" entry point, shared by examples and benches.
+
+#include <string>
+
+#include "leodivide/core/scenario.hpp"
+
+namespace leodivide::core {
+
+/// Renders the Table 1 capacity model as aligned text.
+[[nodiscard]] std::string render_table1(const Table1Summary& t);
+
+/// Renders the F1 oversubscription findings.
+[[nodiscard]] std::string render_f1(const OversubscriptionReport& r);
+
+/// Renders the Table 2 constellation sizes.
+[[nodiscard]] std::string render_table2(const std::vector<Table2Row>& rows);
+
+/// Renders the Figure 2 served-fraction grid.
+[[nodiscard]] std::string render_fig2(
+    const std::vector<double>& beamspreads, const std::vector<double>& oversubs,
+    const std::vector<std::vector<double>>& grid);
+
+/// Renders a compact view of the Figure 3 curves (first/last points and
+/// step counts per curve).
+[[nodiscard]] std::string render_fig3(const std::vector<Fig3Curve>& curves);
+
+/// Renders the Figure 4 affordability table.
+[[nodiscard]] std::string render_fig4(
+    const std::vector<afford::PlanAffordability>& plans);
+
+/// Renders the complete analysis.
+[[nodiscard]] std::string render_report(const AnalysisResults& results);
+
+}  // namespace leodivide::core

@@ -1,0 +1,46 @@
+#include "leodivide/core/scenario.hpp"
+
+namespace leodivide::core {
+
+AnalysisResults run_full_analysis(const demand::DemandProfile& profile,
+                                  const SizingModel& model,
+                                  const AnalysisConfig& config) {
+  AnalysisResults out;
+  out.table1 = model.capacity.table1(profile);
+  out.f1 = analyze_oversubscription(profile, model.capacity,
+                                    config.oversub_cap);
+
+  for (double s : config.table2_beamspreads) {
+    Table2Row row;
+    row.beamspread = s;
+    row.satellites_full_service =
+        size_full_service(profile, model, s).satellites;
+    row.satellites_capped =
+        size_with_cap(profile, model, s, config.oversub_cap).satellites;
+    out.table2.push_back(row);
+  }
+
+  out.fig2_beamspreads = config.fig2_beamspreads;
+  out.fig2_oversubs = config.fig2_oversubs;
+  out.fig2_grid = served_fraction_grid(profile, model.capacity,
+                                       config.fig2_beamspreads,
+                                       config.fig2_oversubs);
+
+  for (const auto& [s, o] : config.fig3_curves) {
+    Fig3Curve curve;
+    curve.beamspread = s;
+    curve.oversub = o;
+    curve.points = longtail_curve(profile, model, s, o);
+    out.fig3.push_back(std::move(curve));
+  }
+
+  const afford::AffordabilityAnalyzer analyzer(profile);
+  out.fig4 = analyzer.evaluate_paper_plans();
+  out.fig4_lifeline_threshold_income = afford::income_required_usd(
+      afford::starlink_residential_lifeline().monthly_usd);
+  out.fig4_starlink_threshold_income =
+      afford::income_required_usd(afford::starlink_residential().monthly_usd);
+  return out;
+}
+
+}  // namespace leodivide::core

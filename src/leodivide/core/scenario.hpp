@@ -1,0 +1,66 @@
+#pragma once
+// End-to-end analysis scenarios: one call that reproduces every table and
+// figure of the paper against a demand profile. Examples and benches build
+// on this; tests pin its outputs to the published numbers.
+
+#include <vector>
+
+#include "leodivide/afford/affordability.hpp"
+#include "leodivide/core/longtail.hpp"
+#include "leodivide/core/oversubscription.hpp"
+#include "leodivide/core/served_fraction.hpp"
+#include "leodivide/core/sizing.hpp"
+
+namespace leodivide::core {
+
+/// Sweep parameters; defaults mirror the paper exactly.
+struct AnalysisConfig {
+  /// Table 2 beamspread factors.
+  std::vector<double> table2_beamspreads{1, 2, 5, 10, 15};
+
+  /// Figure 2 axes.
+  std::vector<double> fig2_beamspreads{2, 4, 6, 8, 10, 12, 14};
+  std::vector<double> fig2_oversubs{5, 10, 15, 20, 25, 30};
+
+  /// Figure 3 curves: (beamspread, oversubscription cap).
+  std::vector<std::pair<double, double>> fig3_curves{
+      {1, 20}, {2, 20}, {5, 20}, {5, 15}, {10, 20}, {15, 20}};
+
+  /// F1 / Table 2 oversubscription cap.
+  double oversub_cap = kFccOversubscriptionCap;
+};
+
+/// One Table 2 row.
+struct Table2Row {
+  double beamspread = 0.0;
+  double satellites_full_service = 0.0;
+  double satellites_capped = 0.0;
+};
+
+/// One Figure 3 curve.
+struct Fig3Curve {
+  double beamspread = 0.0;
+  double oversub = 0.0;
+  std::vector<LongTailPoint> points;
+};
+
+/// Everything the paper's evaluation reports.
+struct AnalysisResults {
+  Table1Summary table1;
+  OversubscriptionReport f1;
+  std::vector<Table2Row> table2;
+  std::vector<double> fig2_beamspreads;
+  std::vector<double> fig2_oversubs;
+  std::vector<std::vector<double>> fig2_grid;
+  std::vector<Fig3Curve> fig3;
+  std::vector<afford::PlanAffordability> fig4;
+  double fig4_lifeline_threshold_income = 0.0;  ///< $66,450
+  double fig4_starlink_threshold_income = 0.0;  ///< $72,000
+};
+
+/// Runs the complete analysis.
+[[nodiscard]] AnalysisResults run_full_analysis(
+    const demand::DemandProfile& profile, const SizingModel& model = {},
+    const AnalysisConfig& config = {});
+
+}  // namespace leodivide::core

@@ -1,0 +1,29 @@
+#pragma once
+// The Figure-2 sweep: fraction of US cells served as a function of
+// beamspread and maximum acceptable oversubscription.
+
+#include <vector>
+
+#include "leodivide/core/capacity_model.hpp"
+
+namespace leodivide::core {
+
+/// Fraction of the profile's cells that receive adequate service under
+/// (beamspread, oversub): demand <= (C / beamspread) * oversub.
+[[nodiscard]] double served_cell_fraction(const demand::DemandProfile& profile,
+                                          const SatelliteCapacityModel& model,
+                                          double beamspread, double oversub);
+
+/// Fraction of *locations* in served cells (the location-weighted variant).
+[[nodiscard]] double served_location_fraction(
+    const demand::DemandProfile& profile, const SatelliteCapacityModel& model,
+    double beamspread, double oversub);
+
+/// The full Figure-2 grid: rows are beamspread values, columns are
+/// oversubscription values; entries are served cell fractions.
+[[nodiscard]] std::vector<std::vector<double>> served_fraction_grid(
+    const demand::DemandProfile& profile, const SatelliteCapacityModel& model,
+    const std::vector<double>& beamspreads,
+    const std::vector<double>& oversubs);
+
+}  // namespace leodivide::core

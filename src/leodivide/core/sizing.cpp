@@ -1,0 +1,88 @@
+#include "leodivide/core/sizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "leodivide/orbit/density.hpp"
+
+namespace leodivide::core {
+
+double coverage_units(const SizingModel& model, double lat_deg) {
+  // One satellite per cell at lat_deg: required density = 1 / A_cell.
+  return orbit::constellation_size_for_density(1.0 / model.cell_area_km2,
+                                               lat_deg,
+                                               model.inclination_deg);
+}
+
+double satellites_for_binding_cell(const SizingModel& model, double lat_deg,
+                                   double beamspread,
+                                   std::uint32_t beams_on_binding) {
+  return satellites_from_k(model, coverage_units(model, lat_deg), beamspread,
+                           beams_on_binding);
+}
+
+double satellites_from_k(const SizingModel& model, double k, double beamspread,
+                         std::uint32_t beams_on_binding) {
+  if (k <= 0.0) throw std::invalid_argument("satellites_from_k: k must be > 0");
+  const double cells = model.capacity.plan().cells_served_per_satellite(
+      beamspread, beams_on_binding);
+  return k / cells;
+}
+
+SizingResult size_full_service(const demand::DemandProfile& profile,
+                               const SizingModel& model, double beamspread) {
+  if (profile.cell_count() == 0) {
+    throw std::invalid_argument("size_full_service: empty profile");
+  }
+  const auto order = profile.cells_by_count_desc();
+  const std::size_t peak = order.front();
+  const auto beams = model.capacity.plan().beams_per_full_cell();
+  SizingResult r;
+  r.binding_cell_index = peak;
+  r.binding_lat_deg = profile.cells()[peak].center.lat_deg;
+  r.beams_on_binding = beams;
+  r.satellites =
+      satellites_for_binding_cell(model, r.binding_lat_deg, beamspread, beams);
+  return r;
+}
+
+SizingResult size_with_cap(const demand::DemandProfile& profile,
+                           const SizingModel& model, double beamspread,
+                           double oversub_cap) {
+  if (profile.cell_count() == 0) {
+    throw std::invalid_argument("size_with_cap: empty profile");
+  }
+  const std::uint32_t cap_locs = model.capacity.max_locations_at(oversub_cap);
+  SizingResult best;
+  bool found = false;
+  for (std::size_t i = 0; i < profile.cell_count(); ++i) {
+    const auto& cell = profile.cells()[i];
+    const std::uint32_t served = std::min(cell.underserved, cap_locs);
+    const std::uint32_t beams = model.capacity.beams_needed(served, oversub_cap);
+    if (beams < 2) continue;  // demand-driven binding requires >= 2 beams
+    const double sats = satellites_for_binding_cell(
+        model, cell.center.lat_deg, beamspread, beams);
+    if (!found || sats > best.satellites) {
+      found = true;
+      best.satellites = sats;
+      best.binding_lat_deg = cell.center.lat_deg;
+      best.beams_on_binding = beams;
+      best.binding_cell_index = i;
+    }
+  }
+  if (!found) {
+    // No cell needs more than one beam at this cap: the peak cell binds
+    // with a single beam.
+    const auto order = profile.cells_by_count_desc();
+    const std::size_t peak = order.front();
+    best.binding_cell_index = peak;
+    best.binding_lat_deg = profile.cells()[peak].center.lat_deg;
+    best.beams_on_binding = 1;
+    best.satellites = satellites_for_binding_cell(model, best.binding_lat_deg,
+                                                  beamspread, 1);
+  }
+  return best;
+}
+
+}  // namespace leodivide::core

@@ -1,0 +1,76 @@
+#pragma once
+// Constellation sizing (Section 3.0.2, Table 2, Finding F2). The paper's
+// lower-bound model:
+//
+//   * The satellite over the binding (bandwidth-neediest) cell dedicates
+//     b beams to it; each of its remaining (B - b) user beams is spread
+//     across `beamspread` cells, so that satellite covers
+//     1 + (B - b) * beamspread cells.
+//   * The constellation must therefore supply one satellite per that many
+//     cells *at the binding cell's location*. Walker geometry converts the
+//     local density requirement into a total constellation size via the
+//     latitude density model (orbit/density.hpp):
+//         N = K(phi) / (1 + (B - b) * s),
+//     K(phi) = 2 pi^2 R^2 sqrt(sin^2 i - sin^2 phi) / A_cell.
+//
+// Per P2, sizing is driven by peak *demand* density: the binding cell is
+// the demand cell whose requirement maximises N, not baseline coverage.
+
+#include <cstddef>
+
+#include "leodivide/core/capacity_model.hpp"
+#include "leodivide/hex/hexgrid.hpp"
+
+namespace leodivide::core {
+
+/// Sizing parameters beyond the capacity model.
+struct SizingModel {
+  SatelliteCapacityModel capacity;
+  double inclination_deg = 53.0;  ///< Starlink shell-1
+  double cell_area_km2 = hex::cell_area_km2(hex::kServiceCellResolution);
+};
+
+/// K(phi): satellites-per-covered-cell scale factor at a latitude — the
+/// total constellation size that yields exactly one satellite per cell of
+/// area cell_area_km2 at that latitude.
+[[nodiscard]] double coverage_units(const SizingModel& model, double lat_deg);
+
+/// N = K(phi) / (1 + (B - beams_on_binding) * beamspread).
+[[nodiscard]] double satellites_for_binding_cell(const SizingModel& model,
+                                                 double lat_deg,
+                                                 double beamspread,
+                                                 std::uint32_t beams_on_binding);
+
+/// Calibrated variant: N = k / (1 + (B - beams_on_binding) * beamspread)
+/// with k supplied directly (e.g. the paper's reverse-engineered constants).
+[[nodiscard]] double satellites_from_k(const SizingModel& model, double k,
+                                       double beamspread,
+                                       std::uint32_t beams_on_binding);
+
+/// Result of sizing against a demand profile.
+struct SizingResult {
+  double satellites = 0.0;
+  double binding_lat_deg = 0.0;
+  std::uint32_t beams_on_binding = 0;
+  std::size_t binding_cell_index = 0;  ///< index into profile.cells()
+};
+
+/// Full-service deployment (F1 option A): every location served, unbounded
+/// oversubscription. Per the paper's generous lower-bound assumption, the
+/// peak-demand cell takes the full beams_per_full_cell and no other cell
+/// needs more than one beam, so the peak cell is the binding cell.
+[[nodiscard]] SizingResult size_full_service(
+    const demand::DemandProfile& profile, const SizingModel& model,
+    double beamspread);
+
+/// Capped deployment (F1 option B): per-cell service is truncated at
+/// `oversub_cap`:1 of the full cell capacity; each cell needs
+/// beams_needed(served, cap) beams, and the binding cell is the
+/// demand-driven (>= 2 beams) cell maximising the satellite requirement.
+/// Falls back to the peak cell when no cell needs more than one beam.
+[[nodiscard]] SizingResult size_with_cap(const demand::DemandProfile& profile,
+                                         const SizingModel& model,
+                                         double beamspread,
+                                         double oversub_cap);
+
+}  // namespace leodivide::core

@@ -1,0 +1,37 @@
+#include "leodivide/core/uplink.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "leodivide/spectrum/efficiency.hpp"
+
+namespace leodivide::core {
+
+double location_uplink_demand_gbps() noexcept {
+  return demand::kReliableUpMbps / 1000.0;
+}
+
+double UplinkModel::cell_capacity_gbps() const noexcept {
+  return spectrum::capacity_gbps(ut_uplink_mhz, bps_per_hz);
+}
+
+UplinkReport analyze_uplink(const SatelliteCapacityModel& down,
+                            const UplinkModel& up, std::uint32_t locations) {
+  if (up.ut_uplink_mhz <= 0.0 || up.bps_per_hz <= 0.0) {
+    throw std::invalid_argument("analyze_uplink: non-positive uplink model");
+  }
+  UplinkReport r;
+  r.downlink_oversubscription = down.required_oversubscription(locations);
+  const double ul_demand =
+      static_cast<double>(locations) * location_uplink_demand_gbps();
+  r.uplink_oversubscription = ul_demand / up.cell_capacity_gbps();
+  r.uplink_to_downlink_ratio =
+      r.downlink_oversubscription == 0.0
+          ? 0.0
+          : r.uplink_oversubscription / r.downlink_oversubscription;
+  r.max_locations_at_20to1_uplink = static_cast<std::uint32_t>(std::floor(
+      up.cell_capacity_gbps() * 20.0 / location_uplink_demand_gbps()));
+  return r;
+}
+
+}  // namespace leodivide::core

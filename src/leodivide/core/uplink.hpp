@@ -1,0 +1,49 @@
+#pragma once
+// EXTENSION (not in the paper): the uplink side of the capacity model.
+//
+// The paper analyses downlink only (100 Mbps per location against 3850 MHz
+// of UT downlink spectrum). The federal definition also requires 20 Mbps
+// uplink, and Starlink's UT uplink spectrum is far narrower (500 MHz of
+// Ku) with a lower practical spectral efficiency (battery/EIRP-limited
+// terminals). This module asks: at the paper's own peak cell, is uplink or
+// downlink the binding constraint?
+
+#include "leodivide/core/capacity_model.hpp"
+
+namespace leodivide::core {
+
+/// Per-location uplink demand [Gbps] under the federal definition.
+[[nodiscard]] double location_uplink_demand_gbps() noexcept;
+
+/// Uplink capacity model parameters.
+struct UplinkModel {
+  /// UT uplink spectrum [MHz] (14.0-14.5 GHz).
+  double ut_uplink_mhz = 500.0;
+  /// Practical uplink spectral efficiency [bps/Hz]. Lower than the
+  /// downlink's 4.5: small phased arrays, power limits, shared MF-TDMA
+  /// return channels. 2.5 is in line with published Starlink uplink
+  /// measurement studies.
+  double bps_per_hz = 2.5;
+
+  /// Max uplink capacity receivable from one cell [Gbps].
+  [[nodiscard]] double cell_capacity_gbps() const noexcept;
+};
+
+/// Uplink vs downlink at one cell.
+struct UplinkReport {
+  double downlink_oversubscription = 0.0;
+  double uplink_oversubscription = 0.0;
+  /// uplink_oversubscription / downlink_oversubscription: > 1 means the
+  /// uplink is the tighter constraint.
+  double uplink_to_downlink_ratio = 0.0;
+  /// Locations servable at a 20:1 uplink oversubscription.
+  std::uint32_t max_locations_at_20to1_uplink = 0;
+};
+
+/// Evaluates both directions at a cell with `locations` un(der)served
+/// locations.
+[[nodiscard]] UplinkReport analyze_uplink(const SatelliteCapacityModel& down,
+                                          const UplinkModel& up,
+                                          std::uint32_t locations);
+
+}  // namespace leodivide::core

@@ -1,0 +1,50 @@
+#include "leodivide/demand/aggregate.hpp"
+
+#include <map>
+#include <unordered_map>
+
+namespace leodivide::demand {
+
+DemandProfile aggregate(const DemandDataset& dataset, const hex::HexGrid& grid,
+                        int resolution) {
+  struct Bucket {
+    std::uint32_t count = 0;
+    std::unordered_map<std::uint32_t, std::uint32_t> by_county;
+  };
+  // std::map keeps cell order deterministic across runs.
+  std::map<hex::CellId, Bucket> buckets;
+  for (const auto& loc : dataset.locations()) {
+    if (!loc.underserved()) continue;
+    Bucket& b = buckets[grid.cell_of(loc.position, resolution)];
+    ++b.count;
+    ++b.by_county[loc.county_index];
+  }
+
+  std::vector<County> counties = dataset.counties().all();
+  for (auto& c : counties) c.underserved_locations = 0;
+
+  std::vector<CellDemand> cells;
+  cells.reserve(buckets.size());
+  for (const auto& [id, bucket] : buckets) {
+    CellDemand cd;
+    cd.cell = id;
+    cd.center = grid.center_of(id);
+    cd.underserved = bucket.count;
+    std::uint32_t best_county = 0;
+    std::uint32_t best_n = 0;
+    for (const auto& [county, n] : bucket.by_county) {
+      if (n > best_n || (n == best_n && county < best_county)) {
+        best_n = n;
+        best_county = county;
+      }
+    }
+    cd.county_index = best_county;
+    cells.push_back(cd);
+    for (const auto& [county, n] : bucket.by_county) {
+      counties[county].underserved_locations += n;
+    }
+  }
+  return DemandProfile(std::move(cells), CountyTable(std::move(counties)));
+}
+
+}  // namespace leodivide::demand

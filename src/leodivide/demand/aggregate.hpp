@@ -1,0 +1,19 @@
+#pragma once
+// Aggregation of location-level data into per-service-cell demand — the
+// paper's Section 2.2 step of grouping user terminals into H3-style cells.
+
+#include "leodivide/demand/dataset.hpp"
+#include "leodivide/hex/hexgrid.hpp"
+
+namespace leodivide::demand {
+
+/// Aggregates a location dataset to a cell-level profile at `resolution`.
+/// Only un(der)served locations contribute to cell counts (the paper's
+/// best-case model: demand comes solely from un(der)served locations). Each
+/// cell's county is the county contributing the most locations to it.
+/// County underserved totals are recomputed from the aggregation.
+[[nodiscard]] DemandProfile aggregate(const DemandDataset& dataset,
+                                      const hex::HexGrid& grid,
+                                      int resolution);
+
+}  // namespace leodivide::demand

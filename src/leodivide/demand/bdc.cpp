@@ -1,0 +1,179 @@
+#include "leodivide/demand/bdc.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <stdexcept>
+
+#include "leodivide/io/csv.hpp"
+
+namespace leodivide::demand {
+
+namespace {
+
+std::size_t require_column(const io::CsvRow& header, const std::string& name) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::runtime_error("BDC: missing required column '" + name + "'");
+}
+
+std::int64_t find_column(const io::CsvRow& header, const std::string& name) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+double cell_to_double(const io::CsvRow& row, std::size_t col,
+                      const char* what) {
+  if (col >= row.size()) {
+    throw std::runtime_error(std::string("BDC: short row at ") + what);
+  }
+  try {
+    return std::stod(row[col]);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("BDC: bad value for ") + what +
+                             ": '" + row[col] + "'");
+  }
+}
+
+std::uint64_t cell_to_u64(const io::CsvRow& row, std::size_t col,
+                          const char* what) {
+  if (col >= row.size()) {
+    throw std::runtime_error(std::string("BDC: short row at ") + what);
+  }
+  std::uint64_t v = 0;
+  const std::string& s = row[col];
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error(std::string("BDC: bad integer for ") + what +
+                             ": '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Technology technology_from_bdc_code(int code) {
+  switch (code) {
+    case 10: return Technology::kDsl;
+    case 40: return Technology::kCable;
+    case 50: return Technology::kFiber;
+    case 60:
+    case 61: return Technology::kGeoSatellite;
+    case 70:
+    case 71:
+    case 72: return Technology::kFixedWireless;
+    default: return Technology::kNone;
+  }
+}
+
+std::vector<BdcRecord> read_bdc_availability(std::istream& in) {
+  io::CsvReader reader(in);
+  io::CsvRow row;
+  if (!reader.next(row)) {
+    throw std::runtime_error("BDC: empty availability file");
+  }
+  const std::size_t col_loc = require_column(row, "location_id");
+  const std::size_t col_tech = require_column(row, "technology");
+  const std::size_t col_down =
+      require_column(row, "max_advertised_download_speed");
+  const std::size_t col_up =
+      require_column(row, "max_advertised_upload_speed");
+  const std::int64_t col_lat = find_column(row, "low_latency");
+  const std::int64_t col_state = find_column(row, "state_usps");
+
+  std::vector<BdcRecord> out;
+  while (reader.next(row)) {
+    BdcRecord rec;
+    rec.location_id = cell_to_u64(row, col_loc, "location_id");
+    rec.technology_code =
+        static_cast<int>(cell_to_double(row, col_tech, "technology"));
+    rec.down_mbps = cell_to_double(row, col_down, "download speed");
+    rec.up_mbps = cell_to_double(row, col_up, "upload speed");
+    if (col_lat >= 0 && static_cast<std::size_t>(col_lat) < row.size()) {
+      rec.low_latency = row[static_cast<std::size_t>(col_lat)] != "0";
+    }
+    if (col_state >= 0 && static_cast<std::size_t>(col_state) < row.size()) {
+      rec.state = row[static_cast<std::size_t>(col_state)];
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::unordered_map<std::uint64_t, geo::GeoPoint> read_bdc_fabric(
+    std::istream& in) {
+  io::CsvReader reader(in);
+  io::CsvRow row;
+  if (!reader.next(row)) {
+    throw std::runtime_error("BDC: empty fabric file");
+  }
+  const std::size_t col_loc = require_column(row, "location_id");
+  const std::size_t col_lat = require_column(row, "latitude");
+  const std::size_t col_lon = require_column(row, "longitude");
+  std::unordered_map<std::uint64_t, geo::GeoPoint> out;
+  while (reader.next(row)) {
+    const std::uint64_t id = cell_to_u64(row, col_loc, "location_id");
+    out[id] = geo::GeoPoint{cell_to_double(row, col_lat, "latitude"),
+                            cell_to_double(row, col_lon, "longitude")}
+                  .normalized();
+  }
+  return out;
+}
+
+DemandDataset build_dataset(
+    const std::vector<BdcRecord>& records,
+    const std::unordered_map<std::uint64_t, geo::GeoPoint>& fabric,
+    County county, std::size_t* dropped) {
+  struct Best {
+    ServiceLevel offer;
+    Technology tech = Technology::kNone;
+  };
+  // std::map keeps output deterministic by location id.
+  std::map<std::uint64_t, Best> best;
+  for (const auto& rec : records) {
+    // GEO offers don't satisfy the low-latency leg of the reliable
+    // broadband definition; keep them only as a fallback technology tag.
+    const bool eligible = rec.low_latency;
+    auto& b = best[rec.location_id];
+    const bool better =
+        eligible && (rec.down_mbps > b.offer.down_mbps ||
+                     (rec.down_mbps == b.offer.down_mbps &&
+                      rec.up_mbps > b.offer.up_mbps));
+    if (better) {
+      b.offer = {rec.down_mbps, rec.up_mbps};
+      b.tech = technology_from_bdc_code(rec.technology_code);
+    } else if (b.tech == Technology::kNone) {
+      b.tech = technology_from_bdc_code(rec.technology_code);
+    }
+  }
+  CountyTable counties;
+  county.underserved_locations = 0;
+  const std::uint32_t county_index = counties.add(std::move(county));
+
+  std::vector<Location> locations;
+  std::size_t missing = 0;
+  for (const auto& [id, b] : best) {
+    const auto it = fabric.find(id);
+    if (it == fabric.end()) {
+      ++missing;
+      continue;
+    }
+    Location loc;
+    loc.id = id;
+    loc.position = it->second;
+    loc.county_index = county_index;
+    loc.best_offer = b.offer;
+    loc.technology = b.tech;
+    if (loc.underserved()) {
+      ++counties.at(county_index).underserved_locations;
+    }
+    locations.push_back(loc);
+  }
+  if (dropped != nullptr) *dropped = missing;
+  return DemandDataset(std::move(locations), std::move(counties));
+}
+
+}  // namespace leodivide::demand

@@ -1,0 +1,65 @@
+#pragma once
+// FCC Broadband Data Collection (BDC) ingestion. The National Broadband
+// Map publishes per-provider availability CSVs with the schema
+//
+//   frn,provider_id,brand_name,location_id,technology,max_advertised_
+//   download_speed,max_advertised_upload_speed,low_latency,business_
+//   residential_code,state_usps,block_geoid,h3_res8_id
+//
+// plus a "location fabric" of coordinates. This module parses the
+// availability schema (column order detected from the header, extra
+// columns ignored), maps FCC technology codes to the library's enum,
+// reduces multiple provider offers per location to the best offer, and
+// joins coordinates — producing the same DemandDataset the synthetic
+// generator yields, so real extracts drop straight into the analysis.
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "leodivide/demand/dataset.hpp"
+
+namespace leodivide::demand {
+
+/// One parsed availability record (one provider's offer at one location).
+struct BdcRecord {
+  std::uint64_t location_id = 0;
+  int technology_code = 0;
+  double down_mbps = 0.0;
+  double up_mbps = 0.0;
+  bool low_latency = true;
+  std::string state;
+};
+
+/// Maps an FCC BDC technology code to the library's Technology enum:
+/// 10 copper/DSL, 40 cable, 50 fiber, 60/61 GEO/NGSO satellite,
+/// 70/71/72 fixed wireless. Unknown codes map to kNone.
+[[nodiscard]] Technology technology_from_bdc_code(int code);
+
+/// Parses a BDC availability CSV. The first row must be a header
+/// containing at least location_id, technology,
+/// max_advertised_download_speed and max_advertised_upload_speed (any
+/// order; other columns are ignored). Throws std::runtime_error on a
+/// missing required column or malformed rows.
+[[nodiscard]] std::vector<BdcRecord> read_bdc_availability(std::istream& in);
+
+/// Coordinates for locations (the BDC "location fabric"): location_id ->
+/// position. Parsed from a CSV with header columns location_id, latitude,
+/// longitude (any order, extras ignored).
+[[nodiscard]] std::unordered_map<std::uint64_t, geo::GeoPoint>
+read_bdc_fabric(std::istream& in);
+
+/// Reduces availability records to one Location per location_id with the
+/// best offer (max download, ties by upload), joined with fabric
+/// coordinates. Records without fabric coordinates are dropped (their
+/// count is returned via `dropped` when non-null). Low-latency=false
+/// offers (GEO satellite) are excluded from "best" per the FCC's reliable
+/// broadband definition. Locations are assigned to the single `county`
+/// provided (real pipelines would join a county shapefile).
+[[nodiscard]] DemandDataset build_dataset(
+    const std::vector<BdcRecord>& records,
+    const std::unordered_map<std::uint64_t, geo::GeoPoint>& fabric,
+    County county, std::size_t* dropped = nullptr);
+
+}  // namespace leodivide::demand

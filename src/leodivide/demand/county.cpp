@@ -1,0 +1,43 @@
+#include "leodivide/demand/county.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace leodivide::demand {
+
+CountyTable::CountyTable(std::vector<County> counties) {
+  for (auto& c : counties) add(std::move(c));
+}
+
+std::uint32_t CountyTable::add(County county) {
+  if (find(county.fips) >= 0) {
+    throw std::invalid_argument("CountyTable: duplicate FIPS " + county.fips);
+  }
+  counties_.push_back(std::move(county));
+  return static_cast<std::uint32_t>(counties_.size() - 1);
+}
+
+const County& CountyTable::at(std::uint32_t index) const {
+  if (index >= counties_.size()) throw std::out_of_range("CountyTable::at");
+  return counties_[index];
+}
+
+County& CountyTable::at(std::uint32_t index) {
+  if (index >= counties_.size()) throw std::out_of_range("CountyTable::at");
+  return counties_[index];
+}
+
+std::int64_t CountyTable::find(const std::string& fips) const {
+  for (std::size_t i = 0; i < counties_.size(); ++i) {
+    if (counties_[i].fips == fips) return static_cast<std::int64_t>(i);
+  }
+  return -1;
+}
+
+std::uint64_t CountyTable::total_underserved() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counties_) total += c.underserved_locations;
+  return total;
+}
+
+}  // namespace leodivide::demand

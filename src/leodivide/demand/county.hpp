@@ -1,0 +1,49 @@
+#pragma once
+// County registry: the affordability analysis joins un(der)served locations
+// with the median household income of their county (US Census ACS style).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "leodivide/geo/geopoint.hpp"
+
+namespace leodivide::demand {
+
+/// One county (or county-equivalent cluster in synthetic data).
+struct County {
+  std::string fips;                 ///< 5-digit FIPS code (synthetic ok)
+  geo::GeoPoint centroid;
+  double median_income_usd = 0.0;   ///< annual household median income
+  std::uint64_t underserved_locations = 0;
+};
+
+/// Flat county table with FIPS lookup.
+class CountyTable {
+ public:
+  CountyTable() = default;
+  explicit CountyTable(std::vector<County> counties);
+
+  /// Appends a county; returns its index. Throws std::invalid_argument on
+  /// duplicate FIPS.
+  std::uint32_t add(County county);
+
+  [[nodiscard]] const County& at(std::uint32_t index) const;
+  [[nodiscard]] County& at(std::uint32_t index);
+
+  /// Index of a county by FIPS, or -1 if absent.
+  [[nodiscard]] std::int64_t find(const std::string& fips) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return counties_.size(); }
+  [[nodiscard]] const std::vector<County>& all() const noexcept {
+    return counties_;
+  }
+
+  /// Total un(der)served locations across counties.
+  [[nodiscard]] std::uint64_t total_underserved() const noexcept;
+
+ private:
+  std::vector<County> counties_;
+};
+
+}  // namespace leodivide::demand

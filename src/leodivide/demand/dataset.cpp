@@ -1,0 +1,228 @@
+#include "leodivide/demand/dataset.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "leodivide/io/csv.hpp"
+
+namespace leodivide::demand {
+
+namespace {
+
+double to_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("CSV: bad double for ") + what +
+                             ": '" + s + "'");
+  }
+}
+
+std::uint64_t to_u64(const std::string& s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error(std::string("CSV: bad integer for ") + what +
+                             ": '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+double CellDemand::demand_gbps() const noexcept {
+  return static_cast<double>(underserved) * location_demand_gbps();
+}
+
+DemandProfile::DemandProfile(std::vector<CellDemand> cells,
+                             CountyTable counties)
+    : cells_(std::move(cells)), counties_(std::move(counties)) {
+  for (const auto& c : cells_) {
+    if (c.county_index >= counties_.size()) {
+      throw std::invalid_argument("DemandProfile: cell county out of range");
+    }
+  }
+}
+
+std::uint64_t DemandProfile::total_locations() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.underserved;
+  return total;
+}
+
+std::vector<double> DemandProfile::counts_as_doubles() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(static_cast<double>(c.underserved));
+  return out;
+}
+
+std::uint32_t DemandProfile::peak_cell_count() const noexcept {
+  std::uint32_t best = 0;
+  for (const auto& c : cells_) best = std::max(best, c.underserved);
+  return best;
+}
+
+std::vector<std::size_t> DemandProfile::cells_by_count_desc() const {
+  std::vector<std::size_t> order(cells_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cells_[a].underserved != cells_[b].underserved) {
+      return cells_[a].underserved > cells_[b].underserved;
+    }
+    return cells_[a].cell < cells_[b].cell;  // stable, deterministic tiebreak
+  });
+  return order;
+}
+
+void DemandProfile::save_csv(std::ostream& cells_out,
+                             std::ostream& counties_out) const {
+  io::CsvWriter cw(cells_out);
+  cw.write_row({"cell_id", "lat", "lon", "underserved", "county_index"});
+  for (const auto& c : cells_) {
+    cw.write_row({c.cell.to_string(), std::to_string(c.center.lat_deg),
+                  std::to_string(c.center.lon_deg),
+                  std::to_string(c.underserved),
+                  std::to_string(c.county_index)});
+  }
+  io::CsvWriter kw(counties_out);
+  kw.write_row({"fips", "lat", "lon", "median_income_usd", "underserved"});
+  for (const auto& k : counties_.all()) {
+    kw.write_row({k.fips, std::to_string(k.centroid.lat_deg),
+                  std::to_string(k.centroid.lon_deg),
+                  std::to_string(k.median_income_usd),
+                  std::to_string(k.underserved_locations)});
+  }
+}
+
+DemandProfile DemandProfile::load_csv(std::istream& cells_in,
+                                      std::istream& counties_in) {
+  io::CsvRow row;
+  CountyTable counties;
+  {
+    io::CsvReader reader(counties_in);
+    bool header = true;
+    while (reader.next(row)) {
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (row.size() != 5) throw std::runtime_error("county CSV: bad width");
+      counties.add(County{row[0],
+                          {to_double(row[1], "lat"), to_double(row[2], "lon")},
+                          to_double(row[3], "income"),
+                          to_u64(row[4], "underserved")});
+    }
+  }
+  std::vector<CellDemand> cells;
+  {
+    io::CsvReader reader(cells_in);
+    bool header = true;
+    while (reader.next(row)) {
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (row.size() != 5) throw std::runtime_error("cell CSV: bad width");
+      CellDemand cd;
+      cd.cell = hex::CellId::from_bits(
+          std::stoull(row[0], nullptr, 16));
+      cd.center = {to_double(row[1], "lat"), to_double(row[2], "lon")};
+      cd.underserved = static_cast<std::uint32_t>(to_u64(row[3], "count"));
+      cd.county_index = static_cast<std::uint32_t>(to_u64(row[4], "county"));
+      cells.push_back(cd);
+    }
+  }
+  return DemandProfile(std::move(cells), std::move(counties));
+}
+
+DemandDataset::DemandDataset(std::vector<Location> locations,
+                             CountyTable counties)
+    : locations_(std::move(locations)), counties_(std::move(counties)) {
+  for (const auto& l : locations_) {
+    if (l.county_index >= counties_.size()) {
+      throw std::invalid_argument("DemandDataset: location county out of range");
+    }
+  }
+}
+
+std::uint64_t DemandDataset::underserved_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : locations_) {
+    if (l.underserved()) ++n;
+  }
+  return n;
+}
+
+void DemandDataset::save_csv(std::ostream& locations_out,
+                             std::ostream& counties_out) const {
+  io::CsvWriter lw(locations_out);
+  lw.write_row({"id", "lat", "lon", "county_index", "down_mbps", "up_mbps",
+                "technology"});
+  for (const auto& l : locations_) {
+    lw.write_row({std::to_string(l.id), std::to_string(l.position.lat_deg),
+                  std::to_string(l.position.lon_deg),
+                  std::to_string(l.county_index),
+                  std::to_string(l.best_offer.down_mbps),
+                  std::to_string(l.best_offer.up_mbps),
+                  to_string(l.technology)});
+  }
+  io::CsvWriter kw(counties_out);
+  kw.write_row({"fips", "lat", "lon", "median_income_usd", "underserved"});
+  for (const auto& k : counties_.all()) {
+    kw.write_row({k.fips, std::to_string(k.centroid.lat_deg),
+                  std::to_string(k.centroid.lon_deg),
+                  std::to_string(k.median_income_usd),
+                  std::to_string(k.underserved_locations)});
+  }
+}
+
+DemandDataset DemandDataset::load_csv(std::istream& locations_in,
+                                      std::istream& counties_in) {
+  io::CsvRow row;
+  CountyTable counties;
+  {
+    io::CsvReader reader(counties_in);
+    bool header = true;
+    while (reader.next(row)) {
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (row.size() != 5) throw std::runtime_error("county CSV: bad width");
+      counties.add(County{row[0],
+                          {to_double(row[1], "lat"), to_double(row[2], "lon")},
+                          to_double(row[3], "income"),
+                          to_u64(row[4], "underserved")});
+    }
+  }
+  std::vector<Location> locations;
+  {
+    io::CsvReader reader(locations_in);
+    bool header = true;
+    while (reader.next(row)) {
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (row.size() != 7) throw std::runtime_error("location CSV: bad width");
+      Location l;
+      l.id = to_u64(row[0], "id");
+      l.position = {to_double(row[1], "lat"), to_double(row[2], "lon")};
+      l.county_index = static_cast<std::uint32_t>(to_u64(row[3], "county"));
+      l.best_offer = {to_double(row[4], "down"), to_double(row[5], "up")};
+      l.technology = technology_from_string(row[6]);
+      locations.push_back(l);
+    }
+  }
+  return DemandDataset(std::move(locations), std::move(counties));
+}
+
+}  // namespace leodivide::demand

@@ -1,0 +1,103 @@
+#pragma once
+// The two dataset granularities the analysis runs on:
+//
+//  * DemandProfile  — per-service-cell un(der)served location counts plus a
+//    county table. This is the paper's working set: every capacity result
+//    (Figs 1-3, Table 2) is a function of the per-cell count distribution,
+//    and every affordability result (Fig 4) is a function of the
+//    location-weighted county income distribution.
+//
+//  * DemandDataset  — individual FCC-BDC-style location records. Used by
+//    examples and when loading real Broadband Data Collection extracts;
+//    aggregate() reduces it to a DemandProfile.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "leodivide/demand/county.hpp"
+#include "leodivide/demand/location.hpp"
+#include "leodivide/hex/cellid.hpp"
+
+namespace leodivide::demand {
+
+/// Aggregate demand of one service cell.
+struct CellDemand {
+  hex::CellId cell;
+  geo::GeoPoint center;
+  std::uint32_t underserved = 0;   ///< un(der)served locations in the cell
+  std::uint32_t county_index = 0;  ///< dominant county of the cell
+
+  /// Downlink demand [Gbps] at the federal 100 Mbps per location.
+  [[nodiscard]] double demand_gbps() const noexcept;
+};
+
+/// Cell-level demand profile: the paper's working dataset.
+class DemandProfile {
+ public:
+  DemandProfile() = default;
+  DemandProfile(std::vector<CellDemand> cells, CountyTable counties);
+
+  [[nodiscard]] const std::vector<CellDemand>& cells() const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] const CountyTable& counties() const noexcept {
+    return counties_;
+  }
+  [[nodiscard]] CountyTable& counties() noexcept { return counties_; }
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+  /// Total un(der)served locations.
+  [[nodiscard]] std::uint64_t total_locations() const noexcept;
+
+  /// Per-cell counts as doubles, for the stats machinery.
+  [[nodiscard]] std::vector<double> counts_as_doubles() const;
+
+  /// The largest per-cell count (the "peak cell" of P2).
+  [[nodiscard]] std::uint32_t peak_cell_count() const noexcept;
+
+  /// Cells sorted by count descending (indices into cells()).
+  [[nodiscard]] std::vector<std::size_t> cells_by_count_desc() const;
+
+  /// Writes/reads the profile as two CSV streams (cells, counties).
+  void save_csv(std::ostream& cells_out, std::ostream& counties_out) const;
+  [[nodiscard]] static DemandProfile load_csv(std::istream& cells_in,
+                                              std::istream& counties_in);
+
+ private:
+  std::vector<CellDemand> cells_;
+  CountyTable counties_;
+};
+
+/// Location-level dataset.
+class DemandDataset {
+ public:
+  DemandDataset() = default;
+  DemandDataset(std::vector<Location> locations, CountyTable counties);
+
+  [[nodiscard]] const std::vector<Location>& locations() const noexcept {
+    return locations_;
+  }
+  [[nodiscard]] const CountyTable& counties() const noexcept {
+    return counties_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return locations_.size(); }
+
+  /// Number of locations failing the reliable-broadband test.
+  [[nodiscard]] std::uint64_t underserved_count() const noexcept;
+
+  /// CSV round trip (locations stream carries county FIPS by index).
+  void save_csv(std::ostream& locations_out, std::ostream& counties_out) const;
+  [[nodiscard]] static DemandDataset load_csv(std::istream& locations_in,
+                                              std::istream& counties_in);
+
+ private:
+  std::vector<Location> locations_;
+  CountyTable counties_;
+};
+
+}  // namespace leodivide::demand

@@ -1,0 +1,50 @@
+#include "leodivide/demand/diurnal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leodivide::demand {
+
+DiurnalCurve::DiurnalCurve(const std::array<double, 24>& hourly)
+    : hourly_(hourly) {
+  double sum = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double a = hourly_[h];
+    if (a < 0.0 || a > 1.0) {
+      throw std::invalid_argument("DiurnalCurve: activity outside [0, 1]");
+    }
+    sum += a;
+    if (a > peak_) {
+      peak_ = a;
+      peak_hour_ = h;
+    }
+  }
+  if (peak_ <= 0.0) {
+    throw std::invalid_argument("DiurnalCurve: all-zero activity");
+  }
+  mean_ = sum / 24.0;
+}
+
+double DiurnalCurve::activity(double hour) const {
+  double h = std::fmod(hour, 24.0);
+  if (h < 0.0) h += 24.0;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = (lo + 1) % 24;
+  const double t = h - std::floor(h);
+  return hourly_[lo] + t * (hourly_[hi] - hourly_[lo]);
+}
+
+double DiurnalCurve::max_acceptable_oversubscription() const noexcept {
+  return 1.0 / peak_;
+}
+
+DiurnalCurve residential_evening_peak() {
+  return DiurnalCurve{{
+      0.012, 0.008, 0.006, 0.005, 0.005, 0.007,  // 00-05: overnight trough
+      0.010, 0.016, 0.022, 0.024, 0.024, 0.025,  // 06-11: morning shoulder
+      0.026, 0.026, 0.026, 0.028, 0.031, 0.036,  // 12-17: afternoon ramp
+      0.042, 0.047, 0.049, 0.050, 0.044, 0.028,  // 18-23: evening peak @21
+  }};
+}
+
+}  // namespace leodivide::demand

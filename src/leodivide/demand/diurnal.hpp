@@ -1,0 +1,52 @@
+#pragma once
+// Diurnal demand model. The paper's oversubscription machinery implicitly
+// assumes not everyone is active at once ("degrading service quality at
+// busy times"); this module makes the assumption explicit. A diurnal
+// activity curve gives the fraction of subscribers active at each hour;
+// the busy-hour activity is what bounds the oversubscription ratio an
+// operator can adopt while still delivering rated speeds to active users:
+//     max_oversub = 1 / busy_hour_activity.
+
+#include <array>
+#include <cstddef>
+
+namespace leodivide::demand {
+
+/// Fraction of subscribers simultaneously active, by local hour [0, 24).
+class DiurnalCurve {
+ public:
+  /// Builds from 24 hourly activity fractions in [0, 1]. Throws
+  /// std::invalid_argument if any value is outside [0, 1] or all are zero.
+  explicit DiurnalCurve(const std::array<double, 24>& hourly);
+
+  /// Activity at a (possibly fractional) local hour, with linear
+  /// interpolation between hourly samples and wraparound at midnight.
+  [[nodiscard]] double activity(double hour) const;
+
+  /// Peak (busy-hour) activity.
+  [[nodiscard]] double busy_hour_activity() const noexcept { return peak_; }
+
+  /// The hour at which activity peaks.
+  [[nodiscard]] std::size_t busy_hour() const noexcept { return peak_hour_; }
+
+  /// Mean activity over the day.
+  [[nodiscard]] double mean_activity() const noexcept { return mean_; }
+
+  /// The largest oversubscription ratio that still gives every *active*
+  /// subscriber their rated speed at the busy hour: 1 / busy_hour_activity.
+  [[nodiscard]] double max_acceptable_oversubscription() const noexcept;
+
+ private:
+  std::array<double, 24> hourly_;
+  double peak_ = 0.0;
+  double mean_ = 0.0;
+  std::size_t peak_hour_ = 0;
+};
+
+/// A typical residential fixed-broadband activity curve: quiet overnight,
+/// a small morning shoulder, and an evening busy hour around 21:00 at ~5%
+/// simultaneous activity — consistent with the FCC's 20:1 fixed-wireless
+/// oversubscription benchmark (1 / 0.05).
+[[nodiscard]] DiurnalCurve residential_evening_peak();
+
+}  // namespace leodivide::demand

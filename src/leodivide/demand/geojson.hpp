@@ -1,0 +1,22 @@
+#pragma once
+// GeoJSON export: render demand profiles and hex cells as FeatureCollections
+// for inspection in any GIS tool (kepler.gl, QGIS, geojson.io). Each cell
+// becomes a hexagon Polygon feature carrying its un(der)served count.
+
+#include <iosfwd>
+
+#include "leodivide/demand/dataset.hpp"
+#include "leodivide/hex/hexgrid.hpp"
+
+namespace leodivide::demand {
+
+/// Writes a profile's cells as a GeoJSON FeatureCollection. Each feature's
+/// geometry is the cell's hexagon boundary; properties carry `cell_id`,
+/// `underserved`, `demand_gbps`, and the county's `median_income_usd`.
+/// Cells with fewer than `min_locations` un(der)served locations are
+/// skipped (0 keeps everything).
+void write_geojson(std::ostream& out, const DemandProfile& profile,
+                   const hex::HexGrid& grid,
+                   std::uint32_t min_locations = 0);
+
+}  // namespace leodivide::demand

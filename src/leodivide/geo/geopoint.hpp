@@ -1,0 +1,31 @@
+#pragma once
+// Geodetic coordinates (latitude/longitude in degrees).
+
+#include <iosfwd>
+
+namespace leodivide::geo {
+
+/// A point on the Earth's surface in geodetic coordinates [degrees].
+/// Latitude in [-90, 90], longitude in (-180, 180].
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  /// Returns a copy with latitude clamped and longitude wrapped to the
+  /// canonical ranges.
+  [[nodiscard]] GeoPoint normalized() const noexcept;
+
+  /// True if latitude and longitude are both within canonical ranges.
+  [[nodiscard]] bool valid() const noexcept;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const GeoPoint& p);
+
+/// Approximate equality within `eps_deg` degrees on both axes (longitude
+/// compared modulo 360).
+[[nodiscard]] bool approx_equal(const GeoPoint& a, const GeoPoint& b,
+                                double eps_deg = 1e-9) noexcept;
+
+}  // namespace leodivide::geo

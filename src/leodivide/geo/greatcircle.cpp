@@ -1,0 +1,80 @@
+#include "leodivide/geo/greatcircle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "leodivide/geo/angle.hpp"
+#include "leodivide/geo/ecef.hpp"
+
+namespace leodivide::geo {
+
+double central_angle_rad(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  return kEarthRadiusKm * central_angle_rad(a, b);
+}
+
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  return std::fmod(rad2deg(std::atan2(y, x)) + 360.0, 360.0);
+}
+
+GeoPoint destination(const GeoPoint& start, double bearing_deg,
+                     double dist_km) {
+  const double delta = dist_km / kEarthRadiusKm;
+  const double theta = deg2rad(bearing_deg);
+  const double lat1 = deg2rad(start.lat_deg);
+  const double lon1 = deg2rad(start.lon_deg);
+  const double sin_lat2 = std::sin(lat1) * std::cos(delta) +
+                          std::cos(lat1) * std::sin(delta) * std::cos(theta);
+  const double lat2 = std::asin(std::clamp(sin_lat2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(lat1);
+  const double x = std::cos(delta) - std::sin(lat1) * sin_lat2;
+  const double lon2 = lon1 + std::atan2(y, x);
+  return GeoPoint{rad2deg(lat2), rad2deg(lon2)}.normalized();
+}
+
+GeoPoint interpolate(const GeoPoint& a, const GeoPoint& b, double t) {
+  if (t < 0.0 || t > 1.0) throw std::invalid_argument("interpolate: t not in [0,1]");
+  const double omega = central_angle_rad(a, b);
+  if (omega < 1e-12) return a.normalized();
+  const Vec3 va = spherical_to_cartesian(a, 1.0);
+  const Vec3 vb = spherical_to_cartesian(b, 1.0);
+  const double sin_omega = std::sin(omega);
+  const double wa = std::sin((1.0 - t) * omega) / sin_omega;
+  const double wb = std::sin(t * omega) / sin_omega;
+  return cartesian_to_spherical(wa * va + wb * vb);
+}
+
+double spherical_cap_area_km2(double theta_rad) {
+  if (theta_rad < 0.0 || theta_rad > kPi) {
+    throw std::invalid_argument("spherical_cap_area_km2: theta out of range");
+  }
+  return kTwoPi * kEarthRadiusKm * kEarthRadiusKm * (1.0 - std::cos(theta_rad));
+}
+
+double latitude_band_fraction(double lat_lo_deg, double lat_hi_deg) {
+  if (lat_lo_deg > lat_hi_deg) {
+    throw std::invalid_argument("latitude_band_fraction: lo > hi");
+  }
+  const double lo = std::clamp(lat_lo_deg, -90.0, 90.0);
+  const double hi = std::clamp(lat_hi_deg, -90.0, 90.0);
+  return (std::sin(deg2rad(hi)) - std::sin(deg2rad(lo))) / 2.0;
+}
+
+}  // namespace leodivide::geo

@@ -1,0 +1,53 @@
+#include "leodivide/geo/polygon.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "leodivide/geo/angle.hpp"
+
+namespace leodivide::geo {
+
+Polygon::Polygon(std::vector<GeoPoint> vertices)
+    : vertices_(std::move(vertices)), bbox_(BoundingBox::empty()) {
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument("Polygon: need >= 3 vertices");
+  }
+  for (const auto& v : vertices_) bbox_.extend(v);
+}
+
+bool Polygon::contains(const GeoPoint& p) const noexcept {
+  if (!bbox_.contains(p)) return false;
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const auto& a = vertices_[i];
+    const auto& b = vertices_[j];
+    const bool crosses = (a.lat_deg > p.lat_deg) != (b.lat_deg > p.lat_deg);
+    if (crosses) {
+      const double x_at = (b.lon_deg - a.lon_deg) * (p.lat_deg - a.lat_deg) /
+                              (b.lat_deg - a.lat_deg) +
+                          a.lon_deg;
+      if (p.lon_deg < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::signed_area_deg2() const noexcept {
+  double acc = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    acc += (vertices_[j].lon_deg + vertices_[i].lon_deg) *
+           (vertices_[i].lat_deg - vertices_[j].lat_deg);
+  }
+  return acc / 2.0;
+}
+
+double Polygon::area_km2() const noexcept {
+  const double lat_mid = deg2rad((bbox_.lat_min + bbox_.lat_max) / 2.0);
+  const double km_per_deg = kTwoPi * kEarthRadiusKm / 360.0;
+  return std::abs(signed_area_deg2()) * km_per_deg * km_per_deg *
+         std::cos(lat_mid);
+}
+
+}  // namespace leodivide::geo

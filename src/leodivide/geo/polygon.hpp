@@ -1,0 +1,43 @@
+#pragma once
+// Simple polygons in lat/lon space with point-in-polygon and area. Used to
+// clip synthetic locations and hex polyfills to the US outline.
+
+#include <span>
+#include <vector>
+
+#include "leodivide/geo/bbox.hpp"
+#include "leodivide/geo/geopoint.hpp"
+
+namespace leodivide::geo {
+
+/// A simple (non-self-intersecting) polygon with implicit closure between the
+/// last and first vertex. Vertices are treated in planar lat/lon space, which
+/// is adequate for region outlines far from the poles and the antimeridian.
+class Polygon {
+ public:
+  /// Throws std::invalid_argument for fewer than 3 vertices.
+  explicit Polygon(std::vector<GeoPoint> vertices);
+
+  [[nodiscard]] std::span<const GeoPoint> vertices() const {
+    return vertices_;
+  }
+
+  /// Even-odd rule point-in-polygon (boundary points count as inside on the
+  /// lower/left edges, per the standard crossing convention).
+  [[nodiscard]] bool contains(const GeoPoint& p) const noexcept;
+
+  [[nodiscard]] const BoundingBox& bbox() const noexcept { return bbox_; }
+
+  /// Planar signed area in deg^2 (positive if counter-clockwise).
+  [[nodiscard]] double signed_area_deg2() const noexcept;
+
+  /// Approximate surface area [km^2] using a cos(latitude)-corrected planar
+  /// formula evaluated at the polygon's centroid latitude.
+  [[nodiscard]] double area_km2() const noexcept;
+
+ private:
+  std::vector<GeoPoint> vertices_;
+  BoundingBox bbox_;
+};
+
+}  // namespace leodivide::geo

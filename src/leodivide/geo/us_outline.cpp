@@ -1,0 +1,35 @@
+#include "leodivide/geo/us_outline.hpp"
+
+namespace leodivide::geo {
+
+const Polygon& conus_outline() {
+  // Vertices run counter-clockwise starting from the Pacific Northwest.
+  // Hand-digitised from a small-scale map; ~1 degree fidelity.
+  static const Polygon outline{std::vector<GeoPoint>{
+      {48.4, -124.7},  // Cape Flattery, WA
+      {46.2, -124.0}, {42.0, -124.4}, {40.4, -124.4},  // OR / N. CA coast
+      {38.9, -123.7}, {36.9, -122.0}, {34.4, -120.5},  // central CA coast
+      {33.7, -118.3}, {32.5, -117.1},                  // SoCal
+      {32.7, -114.7}, {31.3, -111.1}, {31.8, -106.5},  // AZ/NM border
+      {29.7, -104.4}, {29.3, -103.1}, {29.8, -101.4},  // Big Bend
+      {27.5, -99.5},  {25.9, -97.1},                   // Rio Grande valley
+      {26.0, -97.2},  {27.8, -97.0},  {29.3, -94.8},   // TX gulf coast
+      {29.2, -91.0},  {29.0, -89.2},  {30.2, -88.0},   // LA / MS delta
+      {30.4, -86.6},  {29.9, -84.3},  {28.9, -82.7},   // FL panhandle
+      {26.7, -82.2},  {25.2, -81.1},  {25.1, -80.4},   // SW Florida
+      {26.8, -80.0},  {28.5, -80.5},  {30.7, -81.4},   // FL Atlantic coast
+      {32.0, -80.9},  {33.9, -78.0},  {35.2, -75.5},   // GA/SC/NC coast
+      {36.9, -76.0},  {38.9, -74.9},  {40.5, -74.0},   // mid-Atlantic
+      {41.3, -71.9},  {41.7, -70.0},  {43.1, -70.6},   // NY/New England
+      {44.8, -66.9},  {47.3, -68.2},  {45.3, -71.1},   // Maine / NH border
+      {45.0, -74.7},  {43.6, -76.5},  {43.3, -79.0},   // St Lawrence / Ontario
+      {42.3, -82.9},  {43.0, -82.4},  {45.8, -84.5},   // Michigan straits
+      {46.5, -84.5},  {48.0, -89.5},  {48.0, -95.1},   // Superior shore
+      {49.0, -95.2},  {49.0, -123.0},                  // 49th parallel
+      {48.4, -124.7}}};
+  return outline;
+}
+
+double conus_area_km2() { return conus_outline().area_km2(); }
+
+}  // namespace leodivide::geo

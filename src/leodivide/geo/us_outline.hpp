@@ -1,0 +1,19 @@
+#pragma once
+// Coarse outline of the contiguous United States, used to clip synthetic
+// locations and hex polyfills so the national analysis has a realistic
+// footprint. The outline is a hand-digitised ~60-vertex simplification; it is
+// NOT survey-grade, but the paper's model only needs "inside the US" at
+// service-cell (~250 km^2) granularity.
+
+#include "leodivide/geo/polygon.hpp"
+
+namespace leodivide::geo {
+
+/// Simplified outline polygon of the contiguous United States (CONUS).
+[[nodiscard]] const Polygon& conus_outline();
+
+/// Approximate land area of CONUS [km^2] per the outline (for sanity checks;
+/// the true figure is ~8.08M km^2 including water).
+[[nodiscard]] double conus_area_km2();
+
+}  // namespace leodivide::geo

@@ -1,0 +1,103 @@
+#include "leodivide/hex/compact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace leodivide::hex {
+
+std::vector<CellId> compact(const HexGrid& grid, std::vector<CellId> cells,
+                            int min_resolution) {
+  if (cells.empty()) return {};
+  const int res = cells.front().resolution();
+  for (const CellId c : cells) {
+    if (!c.valid() || c.resolution() != res) {
+      throw std::invalid_argument("compact: invalid or mixed-resolution cells");
+    }
+  }
+  if (min_resolution < 0 || min_resolution > res) {
+    throw std::invalid_argument("compact: bad min_resolution");
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+
+  std::vector<CellId> result;
+  std::vector<CellId> level = std::move(cells);
+  int level_res = res;
+  while (level_res > min_resolution && !level.empty()) {
+    const std::set<CellId> present(level.begin(), level.end());
+    std::map<CellId, std::vector<CellId>> by_parent;
+    for (const CellId c : level) {
+      by_parent[grid.parent_of(c, level_res - 1)].push_back(c);
+    }
+    std::vector<CellId> next;
+    for (const auto& [parent, members] : by_parent) {
+      // The parent replaces its members only when every child of the
+      // parent is present.
+      const auto children = grid.children_of(parent, level_res);
+      const bool complete =
+          !children.empty() &&
+          std::all_of(children.begin(), children.end(), [&](CellId ch) {
+            return present.count(ch) > 0;
+          });
+      if (complete) {
+        next.push_back(parent);
+        // Children not in `members` (center in a sibling parent) are kept
+        // by their own parent group; only exact members are replaced.
+        for (const CellId ch : children) {
+          if (std::find(members.begin(), members.end(), ch) ==
+              members.end()) {
+            // A child whose own parent differs would be double-covered;
+            // with center-based parents children_of and parent_of agree,
+            // so this cannot happen — guard anyway.
+            result.push_back(ch);
+          }
+        }
+      } else {
+        result.insert(result.end(), members.begin(), members.end());
+      }
+    }
+    level = std::move(next);
+    --level_res;
+  }
+  result.insert(result.end(), level.begin(), level.end());
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::vector<CellId> uncompact(const HexGrid& grid,
+                              const std::vector<CellId>& cells,
+                              int resolution) {
+  std::vector<CellId> out;
+  for (const CellId c : cells) {
+    if (!c.valid() || c.resolution() > resolution) {
+      throw std::invalid_argument("uncompact: cell finer than target");
+    }
+    if (c.resolution() == resolution) {
+      out.push_back(c);
+      continue;
+    }
+    // Expand one level at a time. The grid's aperture-4 hierarchy is
+    // center-based rather than strictly nested, so the multi-level
+    // parent/child relation only composes through its one-level steps —
+    // the same steps compact() groups by, making uncompact its exact
+    // inverse.
+    std::vector<CellId> frontier{c};
+    for (int res = c.resolution(); res < resolution; ++res) {
+      std::vector<CellId> next;
+      for (const CellId f : frontier) {
+        const auto children = grid.children_of(f, res + 1);
+        next.insert(next.end(), children.begin(), children.end());
+      }
+      frontier = std::move(next);
+    }
+    out.insert(out.end(), frontier.begin(), frontier.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace leodivide::hex

@@ -1,0 +1,32 @@
+#pragma once
+// Multi-resolution cell-set compression (H3's compact/uncompact): replace
+// any complete sibling group of fine cells with their common parent. Used
+// to store large coverage regions (e.g. a constellation's serviceable
+// area) in far fewer cells.
+
+#include <vector>
+
+#include "leodivide/hex/cellid.hpp"
+#include "leodivide/hex/hexgrid.hpp"
+
+namespace leodivide::hex {
+
+/// Compacts a set of same-resolution cells: any parent (at the next
+/// coarser resolution) whose children are ALL present is emitted instead
+/// of the children, recursively up to `min_resolution`. Cells without a
+/// complete sibling group pass through unchanged. Input duplicates are
+/// removed. Throws std::invalid_argument on mixed resolutions or invalid
+/// ids.
+[[nodiscard]] std::vector<CellId> compact(const HexGrid& grid,
+                                          std::vector<CellId> cells,
+                                          int min_resolution = 0);
+
+/// Expands a compacted set back to uniform `resolution` cells. Cells
+/// already at `resolution` pass through; coarser cells expand to their
+/// descendants. Throws std::invalid_argument if any cell is finer than
+/// `resolution`.
+[[nodiscard]] std::vector<CellId> uncompact(const HexGrid& grid,
+                                            const std::vector<CellId>& cells,
+                                            int resolution);
+
+}  // namespace leodivide::hex

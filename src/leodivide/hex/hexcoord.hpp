@@ -1,0 +1,52 @@
+#pragma once
+// Axial/cube hexagon coordinates on a plane (pointy-top orientation).
+// The hex index builds on these: cells at a given resolution are axial
+// integer coordinates on a projected plane.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace leodivide::hex {
+
+/// Axial hexagon coordinate. The implicit cube coordinate is
+/// (q, r, s = -q-r); all cube identities hold.
+struct HexCoord {
+  std::int32_t q = 0;
+  std::int32_t r = 0;
+
+  [[nodiscard]] constexpr std::int32_t s() const noexcept { return -q - r; }
+
+  friend constexpr HexCoord operator+(HexCoord a, HexCoord b) noexcept {
+    return {a.q + b.q, a.r + b.r};
+  }
+  friend constexpr HexCoord operator-(HexCoord a, HexCoord b) noexcept {
+    return {a.q - b.q, a.r - b.r};
+  }
+  friend bool operator==(const HexCoord&, const HexCoord&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const HexCoord& h);
+
+/// The six axial direction vectors, in counter-clockwise order starting
+/// from "east".
+[[nodiscard]] const std::array<HexCoord, 6>& hex_directions() noexcept;
+
+/// Hex grid (Manhattan-like) distance between two cells.
+[[nodiscard]] std::int32_t hex_distance(HexCoord a, HexCoord b) noexcept;
+
+/// Fractional axial coordinate, produced when mapping a plane point into
+/// hex space before rounding.
+struct FractionalHex {
+  double q = 0.0;
+  double r = 0.0;
+};
+
+/// Rounds a fractional hex coordinate to the nearest cell using cube
+/// rounding (guarantees the result is the containing hexagon).
+[[nodiscard]] HexCoord hex_round(const FractionalHex& f) noexcept;
+
+/// Linear interpolation in hex space; used by hex line drawing.
+[[nodiscard]] FractionalHex hex_lerp(HexCoord a, HexCoord b, double t) noexcept;
+
+}  // namespace leodivide::hex

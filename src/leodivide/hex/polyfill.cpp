@@ -1,0 +1,61 @@
+#include "leodivide/hex/polyfill.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "leodivide/hex/traversal.hpp"
+
+namespace leodivide::hex {
+
+namespace {
+
+// Scans an axial-coordinate window that covers the box's projected extent
+// and keeps cells whose centers satisfy `inside`.
+std::vector<CellId> scan(
+    const HexGrid& grid, const geo::BoundingBox& box, int resolution,
+    const std::function<bool(const geo::GeoPoint&)>& inside) {
+  // Project the box corners plus edge midpoints to bound the axial window.
+  std::vector<geo::GeoPoint> probes{
+      {box.lat_min, box.lon_min}, {box.lat_min, box.lon_max},
+      {box.lat_max, box.lon_min}, {box.lat_max, box.lon_max},
+      {box.lat_min, (box.lon_min + box.lon_max) / 2},
+      {box.lat_max, (box.lon_min + box.lon_max) / 2},
+      {(box.lat_min + box.lat_max) / 2, box.lon_min},
+      {(box.lat_min + box.lat_max) / 2, box.lon_max}};
+  std::int32_t q_lo = INT32_MAX, q_hi = INT32_MIN;
+  std::int32_t r_lo = INT32_MAX, r_hi = INT32_MIN;
+  for (const auto& p : probes) {
+    const HexCoord h = grid.cell_of(p, resolution).coord();
+    q_lo = std::min(q_lo, h.q);
+    q_hi = std::max(q_hi, h.q);
+    r_lo = std::min(r_lo, h.r);
+    r_hi = std::max(r_hi, h.r);
+  }
+  // Pad by one cell: centers near edges may round outward.
+  --q_lo; ++q_hi; --r_lo; ++r_hi;
+  std::vector<CellId> out;
+  for (std::int32_t q = q_lo; q <= q_hi; ++q) {
+    for (std::int32_t r = r_lo; r <= r_hi; ++r) {
+      const CellId id(resolution, HexCoord{q, r});
+      if (inside(grid.center_of(id))) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CellId> polyfill(const HexGrid& grid, const geo::Polygon& poly,
+                             int resolution) {
+  return scan(grid, poly.bbox(), resolution,
+              [&poly](const geo::GeoPoint& p) { return poly.contains(p); });
+}
+
+std::vector<CellId> polyfill(const HexGrid& grid, const geo::BoundingBox& box,
+                             int resolution) {
+  return scan(grid, box, resolution,
+              [&box](const geo::GeoPoint& p) { return box.contains(p); });
+}
+
+}  // namespace leodivide::hex

@@ -1,0 +1,24 @@
+#pragma once
+// Polyfill: enumerate the cells of a resolution whose centers fall inside a
+// polygon or bounding box (H3's polygonToCells center-containment mode).
+
+#include <vector>
+
+#include "leodivide/geo/bbox.hpp"
+#include "leodivide/geo/polygon.hpp"
+#include "leodivide/hex/cellid.hpp"
+#include "leodivide/hex/hexgrid.hpp"
+
+namespace leodivide::hex {
+
+/// All cells at `resolution` whose centers lie inside the polygon.
+[[nodiscard]] std::vector<CellId> polyfill(const HexGrid& grid,
+                                           const geo::Polygon& poly,
+                                           int resolution);
+
+/// All cells at `resolution` whose centers lie inside the bounding box.
+[[nodiscard]] std::vector<CellId> polyfill(const HexGrid& grid,
+                                           const geo::BoundingBox& box,
+                                           int resolution);
+
+}  // namespace leodivide::hex

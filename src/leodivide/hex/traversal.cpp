@@ -1,0 +1,77 @@
+#include "leodivide/hex/traversal.hpp"
+
+#include <stdexcept>
+
+namespace leodivide::hex {
+
+namespace {
+void require_valid(CellId id) {
+  if (!id.valid()) throw std::invalid_argument("hex traversal: invalid cell");
+}
+}  // namespace
+
+std::vector<CellId> neighbors(CellId id) {
+  require_valid(id);
+  std::vector<CellId> out;
+  out.reserve(6);
+  for (const HexCoord& d : hex_directions()) {
+    out.emplace_back(id.resolution(), id.coord() + d);
+  }
+  return out;
+}
+
+std::vector<CellId> ring(CellId id, int k) {
+  require_valid(id);
+  if (k < 0) throw std::invalid_argument("ring: k must be >= 0");
+  if (k == 0) return {id};
+  std::vector<CellId> out;
+  out.reserve(static_cast<std::size_t>(6 * k));
+  // Walk to the ring start (k steps in direction 4), then trace 6 sides.
+  HexCoord h = id.coord();
+  for (int i = 0; i < k; ++i) h = h + hex_directions()[4];
+  for (int side = 0; side < 6; ++side) {
+    for (int step = 0; step < k; ++step) {
+      out.emplace_back(id.resolution(), h);
+      h = h + hex_directions()[static_cast<std::size_t>(side)];
+    }
+  }
+  return out;
+}
+
+std::vector<CellId> disk(CellId id, int k) {
+  require_valid(id);
+  if (k < 0) throw std::invalid_argument("disk: k must be >= 0");
+  std::vector<CellId> out;
+  out.reserve(static_cast<std::size_t>(1 + 3 * k * (k + 1)));
+  const HexCoord c = id.coord();
+  for (std::int32_t dq = -k; dq <= k; ++dq) {
+    const std::int32_t lo = std::max(-k, -dq - k);
+    const std::int32_t hi = std::min(k, -dq + k);
+    for (std::int32_t dr = lo; dr <= hi; ++dr) {
+      out.emplace_back(id.resolution(), c + HexCoord{dq, dr});
+    }
+  }
+  return out;
+}
+
+int grid_distance(CellId a, CellId b) {
+  require_valid(a);
+  require_valid(b);
+  if (a.resolution() != b.resolution()) {
+    throw std::invalid_argument("grid_distance: resolution mismatch");
+  }
+  return hex_distance(a.coord(), b.coord());
+}
+
+std::vector<CellId> line(CellId a, CellId b) {
+  const int n = grid_distance(a, b);
+  std::vector<CellId> out;
+  out.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    const double t = n == 0 ? 0.0 : static_cast<double>(i) / n;
+    out.emplace_back(a.resolution(), hex_round(hex_lerp(a.coord(), b.coord(), t)));
+  }
+  return out;
+}
+
+}  // namespace leodivide::hex

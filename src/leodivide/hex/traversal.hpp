@@ -1,0 +1,28 @@
+#pragma once
+// Grid traversal: neighbors, rings, filled disks (k-rings), lines and
+// distances over CellIds at a fixed resolution.
+
+#include <vector>
+
+#include "leodivide/hex/cellid.hpp"
+
+namespace leodivide::hex {
+
+/// The six adjacent cells, counter-clockwise from "east".
+[[nodiscard]] std::vector<CellId> neighbors(CellId id);
+
+/// The cells at exactly hex distance k (the "ring"); k = 0 yields {id}.
+[[nodiscard]] std::vector<CellId> ring(CellId id, int k);
+
+/// All cells within hex distance k, center included (the "filled disk",
+/// H3's gridDisk / kRing). Size is 1 + 3k(k+1).
+[[nodiscard]] std::vector<CellId> disk(CellId id, int k);
+
+/// Hex distance between two cells of the same resolution; throws
+/// std::invalid_argument on resolution mismatch or invalid ids.
+[[nodiscard]] int grid_distance(CellId a, CellId b);
+
+/// Cells forming a straight hex line from a to b inclusive.
+[[nodiscard]] std::vector<CellId> line(CellId a, CellId b);
+
+}  // namespace leodivide::hex

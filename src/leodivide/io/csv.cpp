@@ -1,0 +1,116 @@
+#include "leodivide/io/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace leodivide::io {
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        throw std::runtime_error("CSV: quote inside unquoted field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) throw std::runtime_error("CSV: unterminated quoted field");
+  row.push_back(std::move(field));
+  return row;
+}
+
+CsvReader::CsvReader(std::istream& in) : in_(in) {}
+
+bool CsvReader::next(CsvRow& row) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    // Re-join lines while a quoted field spans newlines.
+    while (true) {
+      std::size_t quotes = 0;
+      for (char c : line) {
+        if (c == '"') ++quotes;
+      }
+      if (quotes % 2 == 0) break;
+      std::string more;
+      if (!std::getline(in_, more)) {
+        throw std::runtime_error("CSV: unterminated quoted record at EOF");
+      }
+      if (!more.empty() && more.back() == '\r') more.pop_back();
+      line.push_back('\n');
+      line.append(more);
+    }
+    row = parse_csv_line(line);
+    ++count_;
+    return true;
+  }
+  return false;
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_field(std::string_view field, bool first) {
+  if (!first) out_ << ',';
+  out_ << csv_escape(field);
+}
+
+void CsvWriter::write_row(const CsvRow& row) {
+  bool first = true;
+  for (const auto& f : row) {
+    write_field(f, first);
+    first = false;
+  }
+  out_ << '\n';
+  ++count_;
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  out_ << '\n';
+  ++count_;
+}
+
+}  // namespace leodivide::io

@@ -1,0 +1,59 @@
+#pragma once
+// RFC-4180 CSV reading and writing. Datasets (locations, cells, counties)
+// persist as CSV so users can swap in real FCC Broadband Data Collection or
+// Census extracts.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leodivide::io {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line (no embedded newlines). Handles quoted fields
+/// with doubled-quote escapes. Throws std::runtime_error on malformed
+/// quoting.
+[[nodiscard]] CsvRow parse_csv_line(std::string_view line);
+
+/// Streaming CSV reader over an istream. Supports quoted fields containing
+/// commas, escaped quotes, and embedded newlines; skips blank lines.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in);
+
+  /// Reads the next record into `row`; returns false at end of input.
+  bool next(CsvRow& row);
+
+  /// Number of records returned so far.
+  [[nodiscard]] std::size_t records_read() const noexcept { return count_; }
+
+ private:
+  std::istream& in_;
+  std::size_t count_ = 0;
+};
+
+/// CSV writer with minimal quoting (quotes only when necessary).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const CsvRow& row);
+  void write_row(std::initializer_list<std::string_view> fields);
+
+  [[nodiscard]] std::size_t records_written() const noexcept { return count_; }
+
+ private:
+  void write_field(std::string_view field, bool first);
+  std::ostream& out_;
+  std::size_t count_ = 0;
+};
+
+/// Escapes one field per RFC 4180 (wraps in quotes iff it contains a comma,
+/// quote, CR or LF).
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+}  // namespace leodivide::io

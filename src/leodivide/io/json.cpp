@@ -1,0 +1,165 @@
+#include "leodivide/io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace leodivide::io {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::comma_and_indent() {
+  if (!stack_.empty()) {
+    if (has_items_.back()) out_ << ',';
+    has_items_.back() = true;
+  }
+  if (pretty_ && !stack_.empty()) {
+    out_ << '\n' << std::string(2 * stack_.size(), ' ');
+  }
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  comma_and_indent();
+  out_ << '"' << json_escape(key) << (pretty_ ? "\": " : "\":");
+}
+
+void JsonWriter::begin_object() {
+  if (!stack_.empty() && stack_.back() == Frame::kObject) {
+    throw std::logic_error("JsonWriter: keyless object inside object");
+  }
+  comma_and_indent();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject) {
+    throw std::logic_error("JsonWriter: end_object without begin_object");
+  }
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (pretty_ && had) out_ << '\n' << std::string(2 * stack_.size(), ' ');
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  if (!stack_.empty() && stack_.back() == Frame::kObject) {
+    throw std::logic_error("JsonWriter: keyless array inside object");
+  }
+  comma_and_indent();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: end_array without begin_array");
+  }
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (pretty_ && had) out_ << '\n' << std::string(2 * stack_.size(), ' ');
+  out_ << ']';
+}
+
+namespace {
+std::string number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+}  // namespace
+
+void JsonWriter::value(std::string_view key, std::string_view v) {
+  key_prefix(key);
+  out_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(std::string_view key, double v) {
+  key_prefix(key);
+  out_ << number_to_string(v);
+}
+
+void JsonWriter::value(std::string_view key, long long v) {
+  key_prefix(key);
+  out_ << v;
+}
+
+void JsonWriter::value(std::string_view key, bool v) {
+  key_prefix(key);
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::element(std::string_view v) {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: element outside array");
+  }
+  comma_and_indent();
+  out_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::element(double v) {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: element outside array");
+  }
+  comma_and_indent();
+  out_ << number_to_string(v);
+}
+
+void JsonWriter::element(long long v) {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: element outside array");
+  }
+  comma_and_indent();
+  out_ << v;
+}
+
+}  // namespace leodivide::io

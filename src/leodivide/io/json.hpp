@@ -1,0 +1,61 @@
+#pragma once
+// Minimal JSON writer (objects, arrays, numbers, strings, bools). Bench
+// binaries export machine-readable results next to their console tables so
+// downstream plotting scripts can regenerate the paper's figures.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leodivide::io {
+
+/// Escapes a string for inclusion in JSON (quotes, backslashes, control
+/// characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// A streaming JSON writer with explicit begin/end calls. The writer tracks
+/// nesting and comma placement; misuse (ending a container that was never
+/// begun) throws std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = true);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void begin_object(std::string_view key);
+  void end_object();
+
+  void begin_array();
+  void begin_array(std::string_view key);
+  void end_array();
+
+  void value(std::string_view key, std::string_view v);
+  void value(std::string_view key, double v);
+  void value(std::string_view key, long long v);
+  void value(std::string_view key, bool v);
+  /// Disambiguation: a string literal must not decay to the bool overload.
+  void value(std::string_view key, const char* v) {
+    value(key, std::string_view(v));
+  }
+
+  /// Array element values.
+  void element(std::string_view v);
+  void element(double v);
+  void element(long long v);
+  void element(const char* v) { element(std::string_view(v)); }
+
+ private:
+  enum class Frame { kObject, kArray };
+  void comma_and_indent();
+  void key_prefix(std::string_view key);
+  std::ostream& out_;
+  bool pretty_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+};
+
+}  // namespace leodivide::io

@@ -1,0 +1,26 @@
+#include "leodivide/orbit/groundtrack.hpp"
+
+#include <stdexcept>
+
+#include "leodivide/geo/angle.hpp"
+
+namespace leodivide::orbit {
+
+std::vector<geo::GeoPoint> ground_track(const CircularOrbit& orbit,
+                                        double duration_s, double step_s) {
+  if (step_s <= 0.0 || duration_s < 0.0) {
+    throw std::invalid_argument("ground_track: bad duration/step");
+  }
+  std::vector<geo::GeoPoint> out;
+  out.reserve(static_cast<std::size_t>(duration_s / step_s) + 1);
+  for (double t = 0.0; t <= duration_s + 1e-9; t += step_s) {
+    out.push_back(subsatellite_point(orbit, t));
+  }
+  return out;
+}
+
+double nodal_regression_per_orbit_deg(const CircularOrbit& orbit) {
+  return geo::rad2deg(geo::kEarthRotationRadPerSec * orbit.period_s());
+}
+
+}  // namespace leodivide::orbit

@@ -1,0 +1,20 @@
+#pragma once
+// Ground tracks: the path the sub-satellite point traces over time.
+
+#include <vector>
+
+#include "leodivide/orbit/kepler.hpp"
+
+namespace leodivide::orbit {
+
+/// Samples the ground track of `orbit` from t=0 to `duration_s` at
+/// `step_s` intervals (inclusive of both endpoints when they align).
+[[nodiscard]] std::vector<geo::GeoPoint> ground_track(
+    const CircularOrbit& orbit, double duration_s, double step_s);
+
+/// Westward drift of the ground track per orbit [deg] due to Earth rotation
+/// (positive value = each successive equator crossing is this many degrees
+/// further west).
+[[nodiscard]] double nodal_regression_per_orbit_deg(const CircularOrbit& orbit);
+
+}  // namespace leodivide::orbit

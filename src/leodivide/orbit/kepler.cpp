@@ -1,0 +1,58 @@
+#include "leodivide/orbit/kepler.hpp"
+
+#include <cmath>
+
+#include "leodivide/geo/angle.hpp"
+
+namespace leodivide::orbit {
+
+double CircularOrbit::radius_km() const noexcept {
+  return geo::kEarthRadiusKm + altitude_km;
+}
+
+double CircularOrbit::period_s() const noexcept {
+  const double r = radius_km();
+  return geo::kTwoPi * std::sqrt(r * r * r / geo::kMuEarth);
+}
+
+double CircularOrbit::mean_motion_rad_s() const noexcept {
+  return geo::kTwoPi / period_s();
+}
+
+double CircularOrbit::speed_km_s() const noexcept {
+  return std::sqrt(geo::kMuEarth / radius_km());
+}
+
+geo::Vec3 eci_position(const CircularOrbit& orbit, double t_s) {
+  const double u = orbit.phase_rad + orbit.mean_motion_rad_s() * t_s;
+  const double r = orbit.radius_km();
+  // Position in the orbital plane, then rotate by inclination about x and
+  // RAAN about z.
+  const double cos_u = std::cos(u);
+  const double sin_u = std::sin(u);
+  const double cos_i = std::cos(orbit.inclination_rad);
+  const double sin_i = std::sin(orbit.inclination_rad);
+  const double cos_o = std::cos(orbit.raan_rad);
+  const double sin_o = std::sin(orbit.raan_rad);
+  return {r * (cos_o * cos_u - sin_o * sin_u * cos_i),
+          r * (sin_o * cos_u + cos_o * sin_u * cos_i),
+          r * (sin_u * sin_i)};
+}
+
+geo::GeoPoint subsatellite_point(const CircularOrbit& orbit, double t_s) {
+  const geo::Vec3 eci = eci_position(orbit, t_s);
+  // Rotate ECI into ECEF by the accumulated Earth rotation angle.
+  const double theta = geo::kEarthRotationRadPerSec * t_s;
+  const double cos_t = std::cos(theta);
+  const double sin_t = std::sin(theta);
+  const geo::Vec3 ecef{eci.x * cos_t + eci.y * sin_t,
+                       -eci.x * sin_t + eci.y * cos_t, eci.z};
+  return geo::cartesian_to_spherical(ecef);
+}
+
+double max_ground_latitude_deg(const CircularOrbit& orbit) {
+  const double inc = std::abs(geo::wrap_pi(orbit.inclination_rad));
+  return geo::rad2deg(inc > geo::kPi / 2.0 ? geo::kPi - inc : inc);
+}
+
+}  // namespace leodivide::orbit

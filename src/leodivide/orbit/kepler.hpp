@@ -1,0 +1,42 @@
+#pragma once
+// Circular Keplerian orbital elements and two-body relations. Starlink
+// shells are near-circular, so the library models circular orbits only;
+// eccentric elements would add nothing to the paper's capacity model.
+
+#include "leodivide/geo/ecef.hpp"
+
+namespace leodivide::orbit {
+
+/// Circular orbit elements. Angles in radians.
+struct CircularOrbit {
+  double altitude_km = 550.0;      ///< above the spherical Earth surface
+  double inclination_rad = 0.0;    ///< orbital plane inclination
+  double raan_rad = 0.0;           ///< right ascension of ascending node
+  double phase_rad = 0.0;          ///< argument of latitude at epoch
+
+  /// Orbit radius from the Earth's center [km].
+  [[nodiscard]] double radius_km() const noexcept;
+
+  /// Orbital period [s] from Kepler's third law.
+  [[nodiscard]] double period_s() const noexcept;
+
+  /// Mean motion [rad/s].
+  [[nodiscard]] double mean_motion_rad_s() const noexcept;
+
+  /// Orbital speed [km/s].
+  [[nodiscard]] double speed_km_s() const noexcept;
+};
+
+/// Position in the Earth-centered inertial frame at time t since epoch.
+[[nodiscard]] geo::Vec3 eci_position(const CircularOrbit& orbit, double t_s);
+
+/// Geodetic sub-satellite point at time t, accounting for Earth rotation
+/// (GMST angle = earth_rotation * t, epoch aligned with ECI x-axis).
+[[nodiscard]] geo::GeoPoint subsatellite_point(const CircularOrbit& orbit,
+                                               double t_s);
+
+/// Maximum latitude reached by the ground track (equals inclination for
+/// prograde orbits below 90 degrees).
+[[nodiscard]] double max_ground_latitude_deg(const CircularOrbit& orbit);
+
+}  // namespace leodivide::orbit

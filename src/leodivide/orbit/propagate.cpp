@@ -1,0 +1,28 @@
+#include "leodivide/orbit/propagate.hpp"
+
+#include <cmath>
+
+#include "leodivide/geo/angle.hpp"
+
+namespace leodivide::orbit {
+
+geo::Vec3 ecef_position(const CircularOrbit& orbit, double t_s) {
+  const geo::Vec3 eci = eci_position(orbit, t_s);
+  const double theta = geo::kEarthRotationRadPerSec * t_s;
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  return {eci.x * c + eci.y * s, -eci.x * s + eci.y * c, eci.z};
+}
+
+std::vector<SatState> propagate_all(const std::vector<CircularOrbit>& orbits,
+                                    double t_s) {
+  std::vector<SatState> out;
+  out.reserve(orbits.size());
+  for (const auto& orbit : orbits) {
+    const geo::Vec3 ecef = ecef_position(orbit, t_s);
+    out.push_back(SatState{ecef, geo::cartesian_to_spherical(ecef)});
+  }
+  return out;
+}
+
+}  // namespace leodivide::orbit

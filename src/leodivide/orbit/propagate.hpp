@@ -1,0 +1,24 @@
+#pragma once
+// Batch propagation of a constellation: positions of every satellite at a
+// sequence of epochs, in ECEF, with sub-satellite points.
+
+#include <vector>
+
+#include "leodivide/orbit/kepler.hpp"
+
+namespace leodivide::orbit {
+
+/// Snapshot of one satellite at one epoch.
+struct SatState {
+  geo::Vec3 ecef_km;        ///< position in the Earth-fixed frame
+  geo::GeoPoint subpoint;   ///< sub-satellite geodetic point
+};
+
+/// ECEF position of one satellite at time t since epoch.
+[[nodiscard]] geo::Vec3 ecef_position(const CircularOrbit& orbit, double t_s);
+
+/// States of every satellite in `orbits` at time t.
+[[nodiscard]] std::vector<SatState> propagate_all(
+    const std::vector<CircularOrbit>& orbits, double t_s);
+
+}  // namespace leodivide::orbit

@@ -1,0 +1,175 @@
+#include "leodivide/orbit/tle.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <stdexcept>
+
+#include "leodivide/geo/angle.hpp"
+
+namespace leodivide::orbit {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+double field_to_double(const std::string& line, std::size_t pos,
+                       std::size_t len, const char* what) {
+  if (line.size() < pos + len) {
+    throw std::invalid_argument(std::string("TLE: line too short for ") +
+                                what);
+  }
+  const std::string field = line.substr(pos, len);
+  try {
+    return std::stod(field);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("TLE: bad ") + what + ": '" +
+                                field + "'");
+  }
+}
+
+std::uint32_t field_to_u32(const std::string& line, std::size_t pos,
+                           std::size_t len, const char* what) {
+  return static_cast<std::uint32_t>(
+      field_to_double(line, pos, len, what));
+}
+
+void check_line(const std::string& line, char expected_number) {
+  if (line.size() < 69) {
+    throw std::invalid_argument("TLE: line shorter than 69 columns");
+  }
+  if (line[0] != expected_number) {
+    throw std::invalid_argument("TLE: unexpected line number");
+  }
+  const int expected = line[68] - '0';
+  if (expected < 0 || expected > 9 ||
+      tle_checksum(line.substr(0, 68)) != expected) {
+    throw std::invalid_argument("TLE: checksum mismatch");
+  }
+}
+
+}  // namespace
+
+double Tle::semi_major_axis_km() const {
+  if (mean_motion_rev_day <= 0.0) {
+    throw std::domain_error("Tle: non-positive mean motion");
+  }
+  const double n_rad_s =
+      mean_motion_rev_day * geo::kTwoPi / kSecondsPerDay;
+  return std::cbrt(geo::kMuEarth / (n_rad_s * n_rad_s));
+}
+
+double Tle::altitude_km() const {
+  return semi_major_axis_km() - geo::kEarthRadiusKm;
+}
+
+int tle_checksum(const std::string& line) {
+  int sum = 0;
+  for (char c : line) {
+    if (c >= '0' && c <= '9') sum += c - '0';
+    if (c == '-') sum += 1;
+  }
+  return sum % 10;
+}
+
+Tle parse_tle(const std::string& line1, const std::string& line2,
+              const std::string& name) {
+  check_line(line1, '1');
+  check_line(line2, '2');
+  Tle tle;
+  tle.name = name;
+  tle.catalog_number = field_to_u32(line1, 2, 5, "catalog number");
+  const auto catalog2 = field_to_u32(line2, 2, 5, "catalog number");
+  if (tle.catalog_number != catalog2) {
+    throw std::invalid_argument("TLE: catalog numbers differ between lines");
+  }
+  tle.inclination_deg = field_to_double(line2, 8, 8, "inclination");
+  tle.raan_deg = field_to_double(line2, 17, 8, "RAAN");
+  // Eccentricity has an implied leading decimal point.
+  tle.eccentricity =
+      field_to_double(line2, 26, 7, "eccentricity") * 1e-7;
+  tle.arg_perigee_deg = field_to_double(line2, 34, 8, "argument of perigee");
+  tle.mean_anomaly_deg = field_to_double(line2, 43, 8, "mean anomaly");
+  tle.mean_motion_rev_day = field_to_double(line2, 52, 11, "mean motion");
+  return tle;
+}
+
+std::vector<Tle> read_tle_catalog(std::istream& in) {
+  std::vector<Tle> out;
+  std::string line;
+  std::string pending_name;
+  std::string line1;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '1' && line.size() >= 69 && line[1] == ' ') {
+      line1 = line;
+    } else if (line[0] == '2' && line.size() >= 69 && line[1] == ' ') {
+      if (line1.empty()) {
+        throw std::invalid_argument("TLE catalog: line 2 without line 1");
+      }
+      out.push_back(parse_tle(line1, line, pending_name));
+      line1.clear();
+      pending_name.clear();
+    } else {
+      pending_name = line;
+      // Trim trailing spaces from the name line.
+      while (!pending_name.empty() && pending_name.back() == ' ') {
+        pending_name.pop_back();
+      }
+    }
+  }
+  if (!line1.empty()) {
+    throw std::invalid_argument("TLE catalog: dangling line 1 at EOF");
+  }
+  return out;
+}
+
+CircularOrbit to_circular_orbit(const Tle& tle) {
+  if (tle.eccentricity > 0.01) {
+    throw std::invalid_argument(
+        "to_circular_orbit: orbit too eccentric for the circular model");
+  }
+  CircularOrbit orbit;
+  orbit.altitude_km = tle.altitude_km();
+  orbit.inclination_rad = geo::deg2rad(tle.inclination_deg);
+  orbit.raan_rad = geo::deg2rad(tle.raan_deg);
+  orbit.phase_rad =
+      geo::wrap_two_pi(geo::deg2rad(tle.arg_perigee_deg +
+                                    tle.mean_anomaly_deg));
+  return orbit;
+}
+
+std::string to_tle(const CircularOrbit& orbit, std::uint32_t catalog_number,
+                   const std::string& name) {
+  if (catalog_number > 99999) {
+    throw std::invalid_argument("to_tle: catalog number exceeds 5 digits");
+  }
+  const double mean_motion =
+      kSecondsPerDay / orbit.period_s();  // rev/day
+  char line1[70];
+  char line2[70];
+  // Epoch and drag terms zeroed: the library propagates two-body from its
+  // own epoch. Fixed-width fields per the TLE format specification.
+  std::snprintf(line1, sizeof(line1),
+                "1 %05uU 24001A   24001.00000000  .00000000  00000-0 "
+                " 00000-0 0    0",
+                catalog_number);
+  std::snprintf(line2, sizeof(line2),
+                "2 %05u %8.4f %8.4f 0000000 %8.4f %8.4f %11.8f    0",
+                catalog_number, geo::rad2deg(orbit.inclination_rad),
+                geo::rad2deg(geo::wrap_two_pi(orbit.raan_rad)), 0.0,
+                geo::rad2deg(geo::wrap_two_pi(orbit.phase_rad)),
+                mean_motion);
+  std::string l1(line1);
+  std::string l2(line2);
+  l1.resize(68, ' ');
+  l2.resize(68, ' ');
+  l1.push_back(static_cast<char>('0' + tle_checksum(l1)));
+  l2.push_back(static_cast<char>('0' + tle_checksum(l2)));
+  std::string out;
+  if (!name.empty()) out = name + "\n";
+  return out + l1 + "\n" + l2 + "\n";
+}
+
+}  // namespace leodivide::orbit

@@ -1,0 +1,64 @@
+#pragma once
+// Two-Line Element (TLE) ephemeris I/O. Real constellation states arrive
+// as TLE sets (CelesTrak publishes Starlink's daily); this module parses
+// them into the library's circular-orbit model and serialises generated
+// constellations back out, so simulator runs can use live ephemerides
+// instead of ideal Walker geometry.
+//
+// Scope: near-circular LEO orbits. Eccentricity is parsed but orbits with
+// e > 0.01 are rejected by to_circular_orbit (the analysis model is
+// circular); epoch-dependent terms (drag, SGP4 propagation) are out of
+// scope — positions come from the library's two-body propagator.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "leodivide/orbit/kepler.hpp"
+
+namespace leodivide::orbit {
+
+/// Parsed fields of one TLE record.
+struct Tle {
+  std::string name;              ///< line 0 (optional, may be empty)
+  std::uint32_t catalog_number = 0;
+  double inclination_deg = 0.0;
+  double raan_deg = 0.0;
+  double eccentricity = 0.0;
+  double arg_perigee_deg = 0.0;
+  double mean_anomaly_deg = 0.0;
+  double mean_motion_rev_day = 0.0;
+
+  /// Semi-major axis [km] implied by the mean motion (two-body).
+  [[nodiscard]] double semi_major_axis_km() const;
+
+  /// Altitude above the spherical Earth [km].
+  [[nodiscard]] double altitude_km() const;
+};
+
+/// Computes the modulo-10 checksum of a TLE line (last column).
+[[nodiscard]] int tle_checksum(const std::string& line);
+
+/// Parses one element set from two (or three, with a name line) lines.
+/// Throws std::invalid_argument on malformed lines, bad checksums, or
+/// mismatched catalog numbers.
+[[nodiscard]] Tle parse_tle(const std::string& line1,
+                            const std::string& line2,
+                            const std::string& name = "");
+
+/// Reads every element set from a stream of 3-line (name + 2) or 2-line
+/// records. Blank lines are skipped.
+[[nodiscard]] std::vector<Tle> read_tle_catalog(std::istream& in);
+
+/// Converts to the library's circular orbit (phase = arg of perigee + mean
+/// anomaly). Throws std::invalid_argument when eccentricity > 0.01.
+[[nodiscard]] CircularOrbit to_circular_orbit(const Tle& tle);
+
+/// Renders a circular orbit as a valid element set (lines 1 and 2,
+/// including checksums). `name` becomes line 0 when non-empty.
+[[nodiscard]] std::string to_tle(const CircularOrbit& orbit,
+                                 std::uint32_t catalog_number,
+                                 const std::string& name = "");
+
+}  // namespace leodivide::orbit

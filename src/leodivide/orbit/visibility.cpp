@@ -1,0 +1,54 @@
+#include "leodivide/orbit/visibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "leodivide/geo/angle.hpp"
+
+namespace leodivide::orbit {
+
+double elevation_deg(const geo::GeoPoint& ground,
+                     const geo::Vec3& sat_ecef_km) {
+  const geo::Vec3 obs = geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm);
+  const geo::Vec3 los = sat_ecef_km - obs;
+  const double range = los.norm();
+  if (range == 0.0) return 90.0;
+  const geo::Vec3 up = obs.unit();
+  const double sin_el = los.dot(up) / range;
+  return geo::rad2deg(std::asin(std::clamp(sin_el, -1.0, 1.0)));
+}
+
+double slant_range_km(const geo::GeoPoint& ground,
+                      const geo::Vec3& sat_ecef_km) {
+  const geo::Vec3 obs = geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm);
+  return (sat_ecef_km - obs).norm();
+}
+
+bool is_visible(const geo::GeoPoint& ground, const geo::Vec3& sat_ecef_km,
+                double min_elevation_deg) {
+  return elevation_deg(ground, sat_ecef_km) >= min_elevation_deg;
+}
+
+std::vector<std::size_t> visible_satellites(const geo::GeoPoint& ground,
+                                            const std::vector<SatState>& states,
+                                            double min_elevation_deg) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (is_visible(ground, states[i].ecef_km, min_elevation_deg)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::size_t count_visible(const geo::GeoPoint& ground,
+                          const std::vector<SatState>& states,
+                          double min_elevation_deg) {
+  std::size_t n = 0;
+  for (const auto& s : states) {
+    if (is_visible(ground, s.ecef_km, min_elevation_deg)) ++n;
+  }
+  return n;
+}
+
+}  // namespace leodivide::orbit

@@ -1,0 +1,36 @@
+#pragma once
+// Ground-to-satellite visibility: elevation angles, line-of-sight checks
+// and "how many satellites can this terminal see" queries.
+
+#include <cstddef>
+#include <vector>
+
+#include "leodivide/orbit/propagate.hpp"
+
+namespace leodivide::orbit {
+
+/// Elevation angle [deg] of a satellite at ECEF position `sat_ecef_km` as
+/// seen from a ground point (spherical Earth). Negative below the horizon.
+[[nodiscard]] double elevation_deg(const geo::GeoPoint& ground,
+                                   const geo::Vec3& sat_ecef_km);
+
+/// Slant range [km] from ground point to satellite.
+[[nodiscard]] double slant_range_km(const geo::GeoPoint& ground,
+                                    const geo::Vec3& sat_ecef_km);
+
+/// True if the satellite is at or above `min_elevation_deg`.
+[[nodiscard]] bool is_visible(const geo::GeoPoint& ground,
+                              const geo::Vec3& sat_ecef_km,
+                              double min_elevation_deg);
+
+/// Indices of all satellites in `states` visible from `ground`.
+[[nodiscard]] std::vector<std::size_t> visible_satellites(
+    const geo::GeoPoint& ground, const std::vector<SatState>& states,
+    double min_elevation_deg);
+
+/// Number of visible satellites (cheaper than materialising indices).
+[[nodiscard]] std::size_t count_visible(const geo::GeoPoint& ground,
+                                        const std::vector<SatState>& states,
+                                        double min_elevation_deg);
+
+}  // namespace leodivide::orbit

@@ -1,0 +1,39 @@
+#pragma once
+// Walker constellation generation. Starlink's shells are Walker-Delta
+// constellations (e.g. the 53.0 deg / 72 planes x 22 sats first shell); the
+// notation i:T/P/F gives inclination, total satellites, planes, and the
+// inter-plane phasing factor.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "leodivide/orbit/kepler.hpp"
+
+namespace leodivide::orbit {
+
+/// Parameters of a Walker-Delta constellation shell.
+struct WalkerShell {
+  double inclination_deg = 53.0;
+  double altitude_km = 550.0;
+  std::uint32_t planes = 72;
+  std::uint32_t sats_per_plane = 22;
+  std::uint32_t phasing = 1;  ///< Walker F parameter in [0, planes)
+
+  [[nodiscard]] std::uint32_t total_sats() const noexcept {
+    return planes * sats_per_plane;
+  }
+
+  /// "53.0:1584/72/1 @ 550km" style description.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Starlink Gen1 first shell (the workhorse shell over the US).
+[[nodiscard]] WalkerShell starlink_shell1() noexcept;
+
+/// Expands a shell into per-satellite circular orbits. Satellite k of plane
+/// p has RAAN = 2*pi*p/P and phase = 2*pi*(k/S + F*p/(P*S)).
+[[nodiscard]] std::vector<CircularOrbit> make_constellation(
+    const WalkerShell& shell);
+
+}  // namespace leodivide::orbit

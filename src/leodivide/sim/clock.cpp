@@ -1,0 +1,20 @@
+#include "leodivide/sim/clock.hpp"
+
+#include <cmath>
+
+namespace leodivide::sim {
+
+SimClock::SimClock(double duration_s, double step_s)
+    : duration_s_(duration_s), step_s_(step_s) {
+  if (duration_s < 0.0 || step_s <= 0.0) {
+    throw std::invalid_argument("SimClock: bad duration/step");
+  }
+  epochs_ = static_cast<std::size_t>(std::floor(duration_s / step_s)) + 1;
+}
+
+double SimClock::time_at(std::size_t i) const {
+  if (i >= epochs_) throw std::out_of_range("SimClock::time_at");
+  return static_cast<double>(i) * step_s_;
+}
+
+}  // namespace leodivide::sim

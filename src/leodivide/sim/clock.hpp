@@ -1,0 +1,30 @@
+#pragma once
+// Simulation clock: fixed-step epochs over a duration.
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace leodivide::sim {
+
+/// Fixed-step simulation clock. Epoch 0 is t = 0; the final epoch is the
+/// last step not exceeding the duration.
+class SimClock {
+ public:
+  SimClock(double duration_s, double step_s);
+
+  [[nodiscard]] double duration_s() const noexcept { return duration_s_; }
+  [[nodiscard]] double step_s() const noexcept { return step_s_; }
+
+  /// Number of epochs (>= 1).
+  [[nodiscard]] std::size_t epochs() const noexcept { return epochs_; }
+
+  /// Time of epoch `i` [s]; throws std::out_of_range past the end.
+  [[nodiscard]] double time_at(std::size_t i) const;
+
+ private:
+  double duration_s_;
+  double step_s_;
+  std::size_t epochs_;
+};
+
+}  // namespace leodivide::sim

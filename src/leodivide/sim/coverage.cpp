@@ -1,0 +1,22 @@
+#include "leodivide/sim/coverage.hpp"
+
+#include <unordered_set>
+
+namespace leodivide::sim {
+
+EpochCoverage summarize_epoch(const ScheduleResult& schedule,
+                              std::size_t cells_total, double time_s) {
+  EpochCoverage out;
+  out.time_s = time_s;
+  out.cells_total = cells_total;
+  out.cells_served = schedule.assignments.size();
+  out.locations_total = schedule.locations_total;
+  out.locations_served = schedule.locations_served;
+  out.mean_beam_utilization = schedule.mean_beam_utilization;
+  std::unordered_set<std::uint32_t> sats;
+  for (const auto& a : schedule.assignments) sats.insert(a.sat);
+  out.satellites_in_view = sats.size();
+  return out;
+}
+
+}  // namespace leodivide::sim

@@ -1,0 +1,39 @@
+#pragma once
+// Per-epoch coverage statistics derived from a schedule.
+
+#include <cstdint>
+
+#include "leodivide/sim/scheduler.hpp"
+
+namespace leodivide::sim {
+
+/// Coverage snapshot of one epoch.
+struct EpochCoverage {
+  double time_s = 0.0;
+  std::size_t cells_total = 0;
+  std::size_t cells_served = 0;
+  std::uint64_t locations_total = 0;
+  std::uint64_t locations_served = 0;
+  double mean_beam_utilization = 0.0;
+  std::size_t satellites_in_view = 0;  ///< sats with >= 1 assignment
+
+  [[nodiscard]] double cell_coverage() const noexcept {
+    return cells_total == 0
+               ? 1.0
+               : static_cast<double>(cells_served) /
+                     static_cast<double>(cells_total);
+  }
+  [[nodiscard]] double location_coverage() const noexcept {
+    return locations_total == 0
+               ? 1.0
+               : static_cast<double>(locations_served) /
+                     static_cast<double>(locations_total);
+  }
+};
+
+/// Summarises a schedule result into an epoch snapshot.
+[[nodiscard]] EpochCoverage summarize_epoch(const ScheduleResult& schedule,
+                                            std::size_t cells_total,
+                                            double time_s);
+
+}  // namespace leodivide::sim

@@ -1,0 +1,35 @@
+#include "leodivide/sim/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leodivide::sim {
+
+SimulationReport summarize(const std::vector<EpochCoverage>& epochs) {
+  if (epochs.empty()) {
+    throw std::invalid_argument("summarize: no epochs");
+  }
+  SimulationReport r;
+  r.epochs = epochs.size();
+  r.min_cell_coverage = 1.0;
+  r.min_location_coverage = 1.0;
+  for (const auto& e : epochs) {
+    const double cc = e.cell_coverage();
+    const double lc = e.location_coverage();
+    r.min_cell_coverage = std::min(r.min_cell_coverage, cc);
+    r.max_cell_coverage = std::max(r.max_cell_coverage, cc);
+    r.mean_cell_coverage += cc;
+    r.min_location_coverage = std::min(r.min_location_coverage, lc);
+    r.mean_location_coverage += lc;
+    r.mean_beam_utilization += e.mean_beam_utilization;
+    r.mean_satellites_in_view += static_cast<double>(e.satellites_in_view);
+  }
+  const auto n = static_cast<double>(epochs.size());
+  r.mean_cell_coverage /= n;
+  r.mean_location_coverage /= n;
+  r.mean_beam_utilization /= n;
+  r.mean_satellites_in_view /= n;
+  return r;
+}
+
+}  // namespace leodivide::sim

@@ -1,0 +1,27 @@
+#pragma once
+// Aggregation of per-epoch coverage into a simulation report.
+
+#include <vector>
+
+#include "leodivide/sim/coverage.hpp"
+
+namespace leodivide::sim {
+
+/// Summary of a complete simulation run.
+struct SimulationReport {
+  std::size_t epochs = 0;
+  double min_cell_coverage = 0.0;
+  double mean_cell_coverage = 0.0;
+  double max_cell_coverage = 0.0;
+  double min_location_coverage = 0.0;
+  double mean_location_coverage = 0.0;
+  double mean_beam_utilization = 0.0;
+  double mean_satellites_in_view = 0.0;
+};
+
+/// Reduces epoch snapshots to a report; throws std::invalid_argument on an
+/// empty input.
+[[nodiscard]] SimulationReport summarize(
+    const std::vector<EpochCoverage>& epochs);
+
+}  // namespace leodivide::sim

@@ -1,0 +1,142 @@
+#include "leodivide/sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "leodivide/geo/angle.hpp"
+#include "leodivide/sim/beam.hpp"
+
+namespace leodivide::sim {
+
+BeamScheduler::BeamScheduler(std::vector<SchedCell> cells,
+                             SchedulerConfig config)
+    : cells_(std::move(cells)), config_(config) {
+  if (config_.beams_per_satellite == 0 || config_.beamspread == 0) {
+    throw std::invalid_argument("BeamScheduler: zero beams or beamspread");
+  }
+  order_.resize(cells_.size());
+  std::iota(order_.begin(), order_.end(), 0U);
+  std::sort(order_.begin(), order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (cells_[a].beams_needed != cells_[b].beams_needed) {
+                return cells_[a].beams_needed > cells_[b].beams_needed;
+              }
+              return cells_[a].locations > cells_[b].locations;
+            });
+}
+
+std::vector<SchedCell> BeamScheduler::cells_from_profile(
+    const demand::DemandProfile& profile,
+    const core::SatelliteCapacityModel& model, double oversub) {
+  std::vector<SchedCell> out;
+  out.reserve(profile.cell_count());
+  for (const auto& cell : profile.cells()) {
+    SchedCell sc;
+    sc.center = cell.center;
+    sc.ecef_km = geo::spherical_to_cartesian(cell.center, geo::kEarthRadiusKm);
+    sc.locations = cell.underserved;
+    sc.beams_needed = std::max(1U, model.beams_needed(cell.underserved,
+                                                      oversub));
+    out.push_back(sc);
+  }
+  return out;
+}
+
+ScheduleResult BeamScheduler::schedule(
+    const std::vector<orbit::SatState>& sats) const {
+  ScheduleResult result;
+  if (cells_.empty()) return result;
+
+  // Precompute the geometry threshold: a satellite is usable by a cell when
+  // the cell lies within the coverage central angle for the elevation mask.
+  // All satellites share one altitude in a Walker shell; derive it from the
+  // first state (robust to small numerical spread).
+  double alt_km = 550.0;
+  if (!sats.empty()) {
+    alt_km = sats.front().ecef_km.norm() - geo::kEarthRadiusKm;
+  }
+  const double ratio = geo::kEarthRadiusKm / (geo::kEarthRadiusKm + alt_km);
+  const double eps = geo::deg2rad(config_.min_elevation_deg);
+  const double psi = std::acos(ratio * std::cos(eps)) - eps;
+  const double cos_psi = std::cos(psi);
+
+  std::vector<BeamBudget> budgets(
+      sats.size(), BeamBudget(config_.beams_per_satellite, config_.beamspread));
+
+  // Unit vectors of satellite positions for the cheap visibility test:
+  // cell "sees" sat iff the central angle between their radials is <= psi.
+  std::vector<geo::Vec3> sat_units;
+  sat_units.reserve(sats.size());
+  for (const auto& s : sats) sat_units.push_back(s.ecef_km.unit());
+
+  std::vector<bool> sat_touched(sats.size(), false);
+
+  for (std::uint32_t ci : order_) {
+    const SchedCell& cell = cells_[ci];
+    result.locations_total += cell.locations;
+    const geo::Vec3 cell_unit = cell.ecef_km.unit();
+
+    std::int64_t best_sat = -1;
+    std::uint32_t best_slack = 0;
+    for (std::size_t si = 0; si < sats.size(); ++si) {
+      if (cell_unit.dot(sat_units[si]) < cos_psi) continue;  // not visible
+      const std::uint32_t slack = budgets[si].slack();
+      if (slack == 0) continue;
+      // Whole-beam cells need enough free whole beams.
+      if (cell.beams_needed >= 2 &&
+          budgets[si].beams_free() < cell.beams_needed) {
+        continue;
+      }
+      bool take = best_sat < 0;
+      switch (config_.strategy) {
+        case Strategy::kMostSlack:
+          take = take || slack > best_slack;
+          break;
+        case Strategy::kBestFit:
+          take = take || slack < best_slack;
+          break;
+        case Strategy::kFirstFit:
+          break;  // keep the first feasible satellite
+      }
+      if (take) {
+        best_sat = static_cast<std::int64_t>(si);
+        best_slack = slack;
+        if (config_.strategy == Strategy::kFirstFit) break;
+      }
+    }
+    if (best_sat < 0) {
+      result.unassigned_cells.push_back(ci);
+      continue;
+    }
+    auto& budget = budgets[static_cast<std::size_t>(best_sat)];
+    const bool ok = cell.beams_needed >= 2
+                        ? budget.reserve_whole(cell.beams_needed)
+                        : budget.reserve_shared_slot();
+    if (!ok) {
+      result.unassigned_cells.push_back(ci);
+      continue;
+    }
+    sat_touched[static_cast<std::size_t>(best_sat)] = true;
+    result.assignments.push_back(
+        Assignment{ci, static_cast<std::uint32_t>(best_sat),
+                   cell.beams_needed >= 2 ? cell.beams_needed : 0U});
+    result.locations_served += cell.locations;
+  }
+
+  double util_sum = 0.0;
+  std::size_t util_n = 0;
+  for (std::size_t si = 0; si < sats.size(); ++si) {
+    if (!sat_touched[si]) continue;
+    util_sum += static_cast<double>(budgets[si].beams_used()) /
+                static_cast<double>(config_.beams_per_satellite);
+    ++util_n;
+  }
+  result.mean_beam_utilization = util_n == 0 ? 0.0 : util_sum /
+                                                         static_cast<double>(
+                                                             util_n);
+  return result;
+}
+
+}  // namespace leodivide::sim

@@ -1,0 +1,29 @@
+#include "leodivide/sim/simulation.hpp"
+
+namespace leodivide::sim {
+
+Simulation::Simulation(SimulationConfig config,
+                       const demand::DemandProfile& profile,
+                       const core::SatelliteCapacityModel& model)
+    : config_(config),
+      scheduler_(BeamScheduler::cells_from_profile(profile, model,
+                                                   config.oversub_target),
+                 config.scheduler),
+      orbits_(orbit::make_constellation(config.shell)) {}
+
+std::vector<EpochCoverage> Simulation::run() const {
+  const SimClock clock(config_.duration_s, config_.step_s);
+  std::vector<EpochCoverage> trace;
+  trace.reserve(clock.epochs());
+  for (std::size_t e = 0; e < clock.epochs(); ++e) {
+    const double t = clock.time_at(e);
+    const auto states = orbit::propagate_all(orbits_, t);
+    const auto schedule = scheduler_.schedule(states);
+    trace.push_back(summarize_epoch(schedule, scheduler_.cells().size(), t));
+  }
+  return trace;
+}
+
+SimulationReport Simulation::run_report() const { return summarize(run()); }
+
+}  // namespace leodivide::sim

@@ -1,0 +1,91 @@
+#include "leodivide/spectrum/band.hpp"
+
+#include <stdexcept>
+
+namespace leodivide::spectrum {
+
+std::string to_string(BeamUsage usage) {
+  switch (usage) {
+    case BeamUsage::kUserDownlink:
+      return "DL to UTs";
+    case BeamUsage::kUserOrGatewayDownlink:
+      return "DL to UTs / GWs";
+    case BeamUsage::kGatewayDownlink:
+      return "DL to GWs";
+    case BeamUsage::kUserUplink:
+      return "UL from UTs";
+    case BeamUsage::kGatewayUplink:
+      return "UL from GWs";
+  }
+  return "unknown";
+}
+
+SpectrumPlan::SpectrumPlan(std::vector<Band> bands)
+    : bands_(std::move(bands)) {
+  if (bands_.empty()) throw std::invalid_argument("SpectrumPlan: no bands");
+  for (const auto& b : bands_) {
+    if (b.hi_ghz <= b.lo_ghz) {
+      throw std::invalid_argument("SpectrumPlan: band '" + b.name +
+                                  "' has non-positive width");
+    }
+  }
+}
+
+double SpectrumPlan::user_downlink_mhz() const noexcept {
+  double mhz = 0.0;
+  for (const auto& b : bands_) {
+    if (b.usage == BeamUsage::kUserDownlink ||
+        b.usage == BeamUsage::kUserOrGatewayDownlink ||
+        b.usage == BeamUsage::kUserUplink) {
+      // For an uplink plan the "user" aggregate is the UT uplink spectrum.
+      mhz += b.width_mhz();
+    }
+  }
+  return mhz;
+}
+
+double SpectrumPlan::total_mhz() const noexcept {
+  double mhz = 0.0;
+  for (const auto& b : bands_) mhz += b.width_mhz();
+  return mhz;
+}
+
+std::uint32_t SpectrumPlan::user_beams() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& b : bands_) {
+    if (b.usage == BeamUsage::kUserDownlink ||
+        b.usage == BeamUsage::kUserOrGatewayDownlink ||
+        b.usage == BeamUsage::kUserUplink) {
+      n += b.beams;
+    }
+  }
+  return n;
+}
+
+std::uint32_t SpectrumPlan::total_beams() const noexcept {
+  std::uint32_t n = 0;
+  for (const auto& b : bands_) n += b.beams;
+  return n;
+}
+
+SpectrumPlan starlink_schedule_s() {
+  // Paper Table 1, sourced from SpaceX FCC filing SAT-AMD-20210818-00105.
+  return SpectrumPlan{{
+      {"10.7-12.75 GHz", 10.70, 12.75, 4, BeamUsage::kUserDownlink},
+      {"19.7-20.2 GHz", 19.70, 20.20, 8, BeamUsage::kUserDownlink},
+      {"17.8-18.6 GHz", 17.80, 18.60, 8, BeamUsage::kUserOrGatewayDownlink},
+      {"18.8-19.3 GHz", 18.80, 19.30, 4, BeamUsage::kUserOrGatewayDownlink},
+      {"71-76 GHz", 71.00, 76.00, 4, BeamUsage::kGatewayDownlink},
+  }};
+}
+
+SpectrumPlan starlink_uplink_schedule_s() {
+  return SpectrumPlan{{
+      {"14.0-14.5 GHz", 14.00, 14.50, 8, BeamUsage::kUserUplink},
+      {"27.5-29.1 GHz", 27.50, 29.10, 4, BeamUsage::kGatewayUplink},
+      {"29.5-30.0 GHz", 29.50, 30.00, 4, BeamUsage::kGatewayUplink},
+      {"81-86 GHz", 81.00, 86.00, 4, BeamUsage::kGatewayUplink},
+  }};
+}
+
+}  // namespace leodivide::spectrum

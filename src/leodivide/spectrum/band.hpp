@@ -1,0 +1,76 @@
+#pragma once
+// Frequency band bookkeeping for the Schedule-S style spectrum model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leodivide::spectrum {
+
+/// What traffic a band/beam group may carry.
+enum class BeamUsage {
+  kUserDownlink,          ///< downlink to user terminals only
+  kUserOrGatewayDownlink, ///< flexibly user terminals or gateways
+  kGatewayDownlink,       ///< downlink to gateways only
+  kUserUplink,            ///< uplink from user terminals
+  kGatewayUplink,         ///< feeder uplink from gateways
+};
+
+[[nodiscard]] std::string to_string(BeamUsage usage);
+
+/// One row of the spectrum table: a contiguous band allocated to a number of
+/// beams with a usage class.
+struct Band {
+  std::string name;        ///< e.g. "10.7-12.75 GHz"
+  double lo_ghz = 0.0;
+  double hi_ghz = 0.0;
+  std::uint32_t beams = 0; ///< beams formed in this band per satellite
+  BeamUsage usage = BeamUsage::kUserDownlink;
+
+  /// Bandwidth in MHz.
+  [[nodiscard]] double width_mhz() const noexcept {
+    return (hi_ghz - lo_ghz) * 1000.0;
+  }
+};
+
+/// A full spectrum plan (a set of bands). Provides the aggregates the
+/// paper's Table 1 reports.
+class SpectrumPlan {
+ public:
+  explicit SpectrumPlan(std::vector<Band> bands);
+
+  [[nodiscard]] const std::vector<Band>& bands() const noexcept {
+    return bands_;
+  }
+
+  /// Total MHz usable for user-terminal downlink (kUserDownlink +
+  /// kUserOrGatewayDownlink bands).
+  [[nodiscard]] double user_downlink_mhz() const noexcept;
+
+  /// Total MHz across all bands (including gateway-only).
+  [[nodiscard]] double total_mhz() const noexcept;
+
+  /// Beams usable for user-terminal downlink.
+  [[nodiscard]] std::uint32_t user_beams() const noexcept;
+
+  /// All beams (including gateway-only).
+  [[nodiscard]] std::uint32_t total_beams() const noexcept;
+
+ private:
+  std::vector<Band> bands_;
+};
+
+/// The Starlink Gen2 Schedule-S spectrum plan as tabulated in the paper
+/// (Table 1): 3850 MHz / 24 beams to user terminals, 8850 MHz / 28 beams
+/// total. Downlink only — the paper's analysis is downlink-driven.
+[[nodiscard]] SpectrumPlan starlink_schedule_s();
+
+/// EXTENSION (not in the paper): the corresponding uplink spectrum. User
+/// terminals transmit in 14.0-14.5 GHz (Ku, 500 MHz); gateways feed the
+/// satellites in 27.5-29.1 / 29.5-30.0 GHz (Ka, 2100 MHz) and 81-86 GHz
+/// (E-band, 5000 MHz). Beam counts mirror the downlink groups. Used by
+/// core/uplink.hpp to test whether the paper's downlink-only analysis is
+/// conservative.
+[[nodiscard]] SpectrumPlan starlink_uplink_schedule_s();
+
+}  // namespace leodivide::spectrum

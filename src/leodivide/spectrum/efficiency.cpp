@@ -1,0 +1,47 @@
+#include "leodivide/spectrum/efficiency.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace leodivide::spectrum {
+
+double capacity_gbps(double width_mhz, double bps_per_hz) {
+  if (width_mhz < 0.0 || bps_per_hz < 0.0) {
+    throw std::invalid_argument("capacity_gbps: negative input");
+  }
+  return width_mhz * 1e6 * bps_per_hz / 1e9;
+}
+
+double shannon_efficiency(double snr_linear) {
+  if (snr_linear < 0.0) {
+    throw std::invalid_argument("shannon_efficiency: negative SNR");
+  }
+  return std::log2(1.0 + snr_linear);
+}
+
+double modcod_efficiency(double snr_db) {
+  // Representative DVB-S2X ladder entries: {required Es/N0 [dB], bps/Hz}.
+  static constexpr std::array<std::pair<double, double>, 12> kLadder{{
+      {-2.35, 0.49},  // QPSK 1/4
+      {1.00, 0.99},   // QPSK 1/2
+      {5.18, 1.65},   // QPSK 5/6
+      {6.62, 2.10},   // 8PSK 3/5 (approx 2.1)
+      {8.97, 2.48},   // 8PSK 3/4
+      {10.98, 2.97},  // 8PSK 9/10
+      {11.61, 3.30},  // 16APSK 5/6
+      {13.13, 3.57},  // 16APSK 9/10
+      {14.28, 4.12},  // 32APSK 5/6
+      {16.05, 4.45},  // 32APSK 9/10
+      {17.70, 4.94},  // 64APSK 5/6
+      {19.57, 5.44},  // 64APSK 9/10
+  }};
+  double best = 0.0;
+  for (const auto& [threshold_db, eff] : kLadder) {
+    if (snr_db >= threshold_db) best = eff;
+  }
+  return best;
+}
+
+}  // namespace leodivide::spectrum

@@ -1,0 +1,23 @@
+#pragma once
+// Spectral efficiency: the bits-per-Hz assumption that converts spectrum
+// width into channel capacity. The paper adopts ~4.5 bps/Hz from Rozenvasser
+// & Shulakova's Starlink capacity estimate; the link-budget module provides
+// a from-first-principles cross-check.
+
+namespace leodivide::spectrum {
+
+/// The paper's adopted downlink spectral efficiency [bps/Hz].
+inline constexpr double kPaperSpectralEfficiency = 4.5;
+
+/// Converts spectrum width [MHz] and efficiency [bps/Hz] to capacity [Gbps].
+[[nodiscard]] double capacity_gbps(double width_mhz, double bps_per_hz);
+
+/// Shannon capacity efficiency [bps/Hz] for a given SNR (linear).
+[[nodiscard]] double shannon_efficiency(double snr_linear);
+
+/// Efficiency of a DVB-S2X-like MODCOD ladder at a given SNR [dB]: the
+/// highest ladder entry whose required SNR is satisfied. Returns 0 below
+/// the most robust MODCOD's threshold.
+[[nodiscard]] double modcod_efficiency(double snr_db);
+
+}  // namespace leodivide::spectrum

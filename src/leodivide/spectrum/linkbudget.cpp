@@ -1,0 +1,42 @@
+#include "leodivide/spectrum/linkbudget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "leodivide/spectrum/efficiency.hpp"
+
+namespace leodivide::spectrum {
+
+namespace {
+constexpr double kBoltzmannDbwPerHzK = -228.6;  // 10*log10(k_B)
+}
+
+double free_space_path_loss_db(double range_km, double frequency_ghz) {
+  if (range_km <= 0.0 || frequency_ghz <= 0.0) {
+    throw std::invalid_argument("free_space_path_loss_db: non-positive input");
+  }
+  // FSPL = 20 log10(d_km) + 20 log10(f_GHz) + 92.45.
+  return 20.0 * std::log10(range_km) + 20.0 * std::log10(frequency_ghz) +
+         92.45;
+}
+
+double carrier_to_noise_db(const LinkBudget& b) {
+  const double fspl =
+      free_space_path_loss_db(b.slant_range_km, b.frequency_ghz);
+  const double noise_dbw = kBoltzmannDbwPerHzK +
+                           10.0 * std::log10(b.system_noise_temp_k) +
+                           10.0 * std::log10(b.bandwidth_mhz * 1e6);
+  const double rx_power_dbw = b.eirp_dbw - fspl + b.rx_gain_dbi -
+                              b.atmospheric_loss_db - b.misc_losses_db;
+  return rx_power_dbw - noise_dbw;
+}
+
+double achievable_efficiency(const LinkBudget& b) {
+  return modcod_efficiency(carrier_to_noise_db(b));
+}
+
+double shannon_bound_efficiency(const LinkBudget& b) {
+  return shannon_efficiency(std::pow(10.0, carrier_to_noise_db(b) / 10.0));
+}
+
+}  // namespace leodivide::spectrum

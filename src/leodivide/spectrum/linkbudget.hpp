@@ -1,0 +1,34 @@
+#pragma once
+// A compact Ku-band downlink budget. The paper takes 4.5 bps/Hz as given;
+// this module derives a comparable figure from first principles so the
+// assumption is testable rather than an oracle constant.
+
+namespace leodivide::spectrum {
+
+/// Parameters of a satellite->terminal downlink.
+struct LinkBudget {
+  double frequency_ghz = 11.7;     ///< Ku downlink center
+  double eirp_dbw = 36.0;          ///< per-beam EIRP (typical Starlink filing)
+  double rx_gain_dbi = 33.0;       ///< user terminal phased array gain
+  double system_noise_temp_k = 290.0;
+  double bandwidth_mhz = 240.0;    ///< per-carrier bandwidth
+  double slant_range_km = 600.0;
+  double atmospheric_loss_db = 0.5;
+  double misc_losses_db = 1.0;
+};
+
+/// Free-space path loss [dB].
+[[nodiscard]] double free_space_path_loss_db(double range_km,
+                                             double frequency_ghz);
+
+/// Received carrier-to-noise ratio [dB] for the budget.
+[[nodiscard]] double carrier_to_noise_db(const LinkBudget& budget);
+
+/// Achievable spectral efficiency [bps/Hz]: the DVB-S2X MODCOD selected at
+/// the budget's C/N.
+[[nodiscard]] double achievable_efficiency(const LinkBudget& budget);
+
+/// Shannon-bound efficiency at the budget's C/N [bps/Hz].
+[[nodiscard]] double shannon_bound_efficiency(const LinkBudget& budget);
+
+}  // namespace leodivide::spectrum

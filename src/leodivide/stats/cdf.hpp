@@ -1,0 +1,61 @@
+#pragma once
+// Empirical cumulative distribution functions, both unweighted (Fig 1 right
+// panel) and weighted (Fig 4, where each county's income is weighted by its
+// number of un(der)served locations).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace leodivide::stats {
+
+/// Empirical CDF over unweighted samples.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// F(x): fraction of samples <= x.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Smallest sample v such that F(v) >= p.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+
+  /// Evenly-spaced (x, F(x)) pairs for plotting/printing.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Empirical CDF over weighted samples (value, weight >= 0).
+class WeightedCdf {
+ public:
+  WeightedCdf(std::span<const double> values, std::span<const double> weights);
+
+  /// F(x): total weight of samples <= x divided by total weight.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Total weight of samples <= x (unnormalised) — e.g. "number of locations
+  /// unable to afford" is total_weight() - weight_at_most(threshold).
+  [[nodiscard]] double weight_at_most(double x) const;
+
+  /// Smallest value v such that F(v) >= p.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double total_weight() const { return total_; }
+  [[nodiscard]] double min() const { return values_.front(); }
+  [[nodiscard]] double max() const { return values_.back(); }
+
+ private:
+  std::vector<double> values_;   // sorted ascending
+  std::vector<double> cumsum_;   // cumulative weight aligned with values_
+  double total_ = 0.0;
+};
+
+}  // namespace leodivide::stats

@@ -1,0 +1,100 @@
+#include "leodivide/stats/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leodivide::stats {
+
+double lerp_clamped(std::span<const double> xs, std::span<const double> ys,
+                    double x) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("lerp_clamped: mismatched or empty grids");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+namespace {
+// Positive floor used so that log-linear interpolation tolerates zero-valued
+// anchors (e.g. "0 locations" at p = 0).
+constexpr double kLogFloor = 1e-9;
+
+double safe_log(double v) { return std::log(std::max(v, kLogFloor)); }
+}  // namespace
+
+PiecewiseQuantile::PiecewiseQuantile(std::vector<QuantileAnchor> anchors)
+    : anchors_(std::move(anchors)) {
+  if (anchors_.size() < 2) {
+    throw std::invalid_argument("PiecewiseQuantile: need >= 2 anchors");
+  }
+  std::sort(anchors_.begin(), anchors_.end(),
+            [](const QuantileAnchor& a, const QuantileAnchor& b) {
+              return a.p < b.p;
+            });
+  for (std::size_t i = 0; i < anchors_.size(); ++i) {
+    const auto& a = anchors_[i];
+    if (a.p < 0.0 || a.p > 1.0 || a.value < 0.0) {
+      throw std::invalid_argument("PiecewiseQuantile: anchor out of range");
+    }
+    if (i > 0) {
+      if (a.p <= anchors_[i - 1].p) {
+        throw std::invalid_argument(
+            "PiecewiseQuantile: duplicate anchor probability");
+      }
+      if (a.value < anchors_[i - 1].value) {
+        throw std::invalid_argument(
+            "PiecewiseQuantile: values must be non-decreasing");
+      }
+    }
+  }
+}
+
+double PiecewiseQuantile::operator()(double p) const {
+  if (p <= anchors_.front().p) return anchors_.front().value;
+  if (p >= anchors_.back().p) return anchors_.back().value;
+  const auto it = std::upper_bound(
+      anchors_.begin(), anchors_.end(), p,
+      [](double pp, const QuantileAnchor& a) { return pp < a.p; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double t = (p - lo.p) / (hi.p - lo.p);
+  const double lv = safe_log(lo.value) + t * (safe_log(hi.value) - safe_log(lo.value));
+  const double v = std::exp(lv);
+  return v < 2.0 * kLogFloor ? 0.0 : v;
+}
+
+double PiecewiseQuantile::cdf(double value) const {
+  if (value <= anchors_.front().value) return anchors_.front().p;
+  if (value >= anchors_.back().value) return anchors_.back().p;
+  // Find the segment containing `value` (values are non-decreasing).
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (value <= anchors_[i].value) {
+      const auto& lo = anchors_[i - 1];
+      const auto& hi = anchors_[i];
+      if (hi.value <= lo.value) return hi.p;  // flat segment
+      const double t =
+          (safe_log(value) - safe_log(lo.value)) /
+          (safe_log(hi.value) - safe_log(lo.value));
+      return lo.p + t * (hi.p - lo.p);
+    }
+  }
+  return anchors_.back().p;
+}
+
+double PiecewiseQuantile::mean(std::size_t steps) const {
+  if (steps == 0) throw std::invalid_argument("mean: steps must be > 0");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(steps);
+    acc += (*this)(p);
+  }
+  return acc / static_cast<double>(steps);
+}
+
+}  // namespace leodivide::stats

@@ -1,0 +1,57 @@
+#pragma once
+// Piecewise interpolation utilities, including the monotone piecewise
+// quantile functions used to calibrate synthetic demand and income
+// distributions against the statistics published in the paper.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace leodivide::stats {
+
+/// Linear interpolation of y(x) over a strictly increasing grid `xs`.
+/// Values outside the grid are clamped to the end values.
+[[nodiscard]] double lerp_clamped(std::span<const double> xs,
+                                  std::span<const double> ys, double x);
+
+/// One (probability, value) anchor of a piecewise quantile function.
+struct QuantileAnchor {
+  double p;      ///< cumulative probability in [0, 1]
+  double value;  ///< quantile value at p (must be non-decreasing in p)
+};
+
+/// A monotone piecewise quantile function Q(p) defined by anchors, with
+/// geometric (log-linear) interpolation between anchors. Log-linear
+/// interpolation is the natural choice for heavy-tailed positive variables
+/// such as "un(der)served locations per cell" or "county median income":
+/// straight lines in (p, log value) space reproduce the long-tail shape the
+/// paper's Figure 1 exhibits while passing exactly through every published
+/// percentile.
+class PiecewiseQuantile {
+ public:
+  /// Builds the function from anchors. Anchors are sorted by probability;
+  /// throws std::invalid_argument if fewer than two anchors are given, if
+  /// probabilities fall outside [0,1] or repeat, or if values are negative
+  /// or decreasing.
+  explicit PiecewiseQuantile(std::vector<QuantileAnchor> anchors);
+
+  /// Evaluates Q(p); p is clamped to [p_min, p_max] of the anchors.
+  [[nodiscard]] double operator()(double p) const;
+
+  /// Inverse: the CDF F(v) such that Q(F(v)) == v for v within range
+  /// (clamped outside).
+  [[nodiscard]] double cdf(double value) const;
+
+  /// Mean of the distribution, integrated numerically over `steps` equal
+  /// probability slices (midpoint rule).
+  [[nodiscard]] double mean(std::size_t steps = 20000) const;
+
+  [[nodiscard]] const std::vector<QuantileAnchor>& anchors() const {
+    return anchors_;
+  }
+
+ private:
+  std::vector<QuantileAnchor> anchors_;
+};
+
+}  // namespace leodivide::stats

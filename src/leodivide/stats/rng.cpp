@@ -1,0 +1,46 @@
+#include "leodivide/stats/rng.hpp"
+
+namespace leodivide::stats {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1U) | 1U) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+Pcg32::result_type Pcg32::operator()() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  const auto rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+double Pcg32::next_double() noexcept {
+  return static_cast<double>((*this)()) * 0x1.0p-32;
+}
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased reduction.
+  std::uint64_t m = static_cast<std::uint64_t>((*this)()) * bound;
+  auto low = static_cast<std::uint32_t>(m);
+  if (low < bound) {
+    const std::uint32_t threshold = (0U - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<std::uint64_t>((*this)()) * bound;
+      low = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32U);
+}
+
+std::uint64_t mix_seed(std::uint64_t global_seed,
+                       std::uint64_t entity_id) noexcept {
+  SplitMix64 mixer(global_seed ^ (entity_id * 0x9e3779b97f4a7c15ULL));
+  return mixer();
+}
+
+}  // namespace leodivide::stats

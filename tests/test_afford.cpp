@@ -1,0 +1,202 @@
+// Unit tests for leodivide::afford — plans, income view, the 2% rule.
+
+#include <gtest/gtest.h>
+
+#include "leodivide/afford/affordability.hpp"
+#include "leodivide/demand/calibration.hpp"
+#include "leodivide/demand/generator.hpp"
+
+namespace leodivide::afford {
+namespace {
+
+const demand::DemandProfile& national_profile() {
+  static const demand::DemandProfile profile =
+      demand::SyntheticGenerator(demand::GeneratorConfig{}).generate_profile();
+  return profile;
+}
+
+demand::DemandProfile tiny_profile() {
+  demand::CountyTable counties;
+  counties.add({"90001", {36.0, -90.0}, 30000.0, 100});
+  counties.add({"90002", {37.0, -91.0}, 60000.0, 300});
+  counties.add({"90003", {38.0, -92.0}, 90000.0, 600});
+  std::vector<demand::CellDemand> cells(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    cells[i].cell = hex::CellId(5, {static_cast<std::int32_t>(i), 0});
+    cells[i].county_index = static_cast<std::uint32_t>(i);
+    cells[i].underserved = static_cast<std::uint32_t>(100 * (i == 0 ? 1 : i * 3));
+  }
+  cells[0].underserved = 100;
+  cells[1].underserved = 300;
+  cells[2].underserved = 600;
+  return {std::move(cells), std::move(counties)};
+}
+
+// ------------------------------------------------------------------ plans ----
+
+TEST(Plans, PaperPrices) {
+  EXPECT_DOUBLE_EQ(starlink_residential().monthly_usd, 120.0);
+  EXPECT_DOUBLE_EQ(starlink_residential_lifeline().monthly_usd, 110.75);
+  EXPECT_DOUBLE_EQ(xfinity_300().monthly_usd, 40.0);
+  EXPECT_DOUBLE_EQ(spectrum_premier().monthly_usd, 50.0);
+}
+
+TEST(Plans, AllPaperPlansAreReliable) {
+  for (const auto& p : paper_plans()) {
+    EXPECT_TRUE(p.reliable()) << p.name;
+  }
+}
+
+TEST(Plans, LifelineSubtractsAndFloorsAtZero) {
+  EXPECT_DOUBLE_EQ(with_lifeline(120.0), 110.75);
+  EXPECT_DOUBLE_EQ(with_lifeline(5.0), 0.0);
+}
+
+// -------------------------------------------------------------- thresholds ----
+
+TEST(Threshold, PaperIncomeThresholds) {
+  // $120/mo at the 2% rule requires $72,000/yr; with Lifeline $66,450.
+  EXPECT_NEAR(income_required_usd(120.0), 72000.0, 1e-9);
+  EXPECT_NEAR(income_required_usd(110.75), 66450.0, 1e-9);
+  EXPECT_NEAR(income_required_usd(40.0), 24000.0, 1e-9);
+  EXPECT_NEAR(income_required_usd(50.0), 30000.0, 1e-9);
+}
+
+TEST(Threshold, AffordableBoundaryIsInclusive) {
+  EXPECT_TRUE(is_affordable(120.0, 72000.0));
+  EXPECT_FALSE(is_affordable(120.0, 71999.0));
+}
+
+TEST(Threshold, RejectsBadThreshold) {
+  EXPECT_THROW(income_required_usd(100.0, 0.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- income view ----
+
+TEST(IncomeViewTest, WeightedFractions) {
+  const IncomeView view(tiny_profile());
+  EXPECT_DOUBLE_EQ(view.total_locations(), 1000.0);
+  EXPECT_DOUBLE_EQ(view.locations_with_income_at_most(30000.0), 100.0);
+  EXPECT_DOUBLE_EQ(view.locations_with_income_at_most(60000.0), 400.0);
+  EXPECT_DOUBLE_EQ(view.fraction_with_income_at_most(90000.0), 1.0);
+}
+
+TEST(IncomeViewTest, QuantileWeighted) {
+  const IncomeView view(tiny_profile());
+  EXPECT_DOUBLE_EQ(view.income_quantile(0.05), 30000.0);
+  EXPECT_DOUBLE_EQ(view.income_quantile(0.3), 60000.0);
+  EXPECT_DOUBLE_EQ(view.income_quantile(0.9), 90000.0);
+  EXPECT_DOUBLE_EQ(view.min_income(), 30000.0);
+  EXPECT_DOUBLE_EQ(view.max_income(), 90000.0);
+}
+
+TEST(IncomeViewTest, RejectsEmptyProfile) {
+  demand::CountyTable counties;
+  counties.add({"90001", {}, 50000.0, 0});
+  demand::DemandProfile profile({}, std::move(counties));
+  EXPECT_THROW(IncomeView{profile}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ affordability ----
+
+TEST(Affordability, TinyProfilePlanEvaluation) {
+  const AffordabilityAnalyzer analyzer(tiny_profile());
+  // $100/mo requires $60,000: the $30k county (100 locs) is priced out;
+  // the $60k county is exactly at the threshold and can afford it.
+  const PlanAffordability r =
+      analyzer.evaluate({"Test", 100.0, {100.0, 20.0}});
+  EXPECT_DOUBLE_EQ(r.income_required_usd, 60000.0);
+  EXPECT_DOUBLE_EQ(r.locations_unable, 100.0);
+  EXPECT_NEAR(r.fraction_unable, 0.1, 1e-12);
+}
+
+TEST(Affordability, NationalF4StarlinkUnaffordableFor74_5Percent) {
+  const AffordabilityAnalyzer analyzer(national_profile());
+  const auto r = analyzer.evaluate(starlink_residential());
+  EXPECT_NEAR(r.fraction_unable, 0.745, 0.005);
+  // ~3.5M of 4.7M (F4).
+  EXPECT_NEAR(r.locations_unable, 3.48e6, 0.05e6);
+}
+
+TEST(Affordability, NationalLifelineLeavesNearly3MUnable) {
+  const AffordabilityAnalyzer analyzer(national_profile());
+  const auto r = analyzer.evaluate(starlink_residential_lifeline());
+  EXPECT_NEAR(r.locations_unable, 2.97e6, 0.05e6);
+  EXPECT_NEAR(r.fraction_unable, 0.635, 0.005);
+}
+
+TEST(Affordability, NationalComparablePlansAffordableAlmostEverywhere) {
+  const AffordabilityAnalyzer analyzer(national_profile());
+  for (const auto& plan : {xfinity_300(), spectrum_premier()}) {
+    const auto r = analyzer.evaluate(plan);
+    EXPECT_LE(r.fraction_unable, 0.0001) << plan.name;  // > 99.99% affordable
+  }
+}
+
+TEST(Affordability, CurveIsMonotoneDecreasing) {
+  const AffordabilityAnalyzer analyzer(national_profile());
+  const auto curve = analyzer.curve(starlink_residential(), 0.05, 50);
+  ASSERT_EQ(curve.size(), 50U);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].locations_unable, curve[i - 1].locations_unable);
+  }
+}
+
+TEST(Affordability, CurveAt2PercentMatchesEvaluate) {
+  const AffordabilityAnalyzer analyzer(national_profile());
+  const auto curve = analyzer.curve(starlink_residential(), 0.05, 100);
+  // Point 39 is x = 0.02 exactly (0.05 * 40 / 100).
+  const auto& at2pct = curve[39];
+  EXPECT_NEAR(at2pct.proportion_of_income, 0.02, 1e-12);
+  EXPECT_NEAR(at2pct.locations_unable,
+              analyzer.evaluate(starlink_residential()).locations_unable,
+              1.0);
+}
+
+TEST(Affordability, CurveEndsMatchFig4Annotations) {
+  // Fig 4 marks the curve endpoints at proportions 0.050 ($120) and 0.046
+  // ($110.75) — the poorest county's income is $28,800.
+  const AffordabilityAnalyzer analyzer(national_profile());
+  EXPECT_NEAR(analyzer.curve_end(starlink_residential()), 0.050, 0.001);
+  EXPECT_NEAR(analyzer.curve_end(starlink_residential_lifeline()), 0.046,
+              0.001);
+}
+
+TEST(Affordability, EvaluatePaperPlansIsSortedByPrice) {
+  const AffordabilityAnalyzer analyzer(national_profile());
+  const auto all = analyzer.evaluate_paper_plans();
+  ASSERT_EQ(all.size(), 4U);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].plan.monthly_usd, all[i].plan.monthly_usd);
+    EXPECT_LE(all[i - 1].locations_unable, all[i].locations_unable);
+  }
+}
+
+TEST(Affordability, CurveRejectsBadArguments) {
+  const AffordabilityAnalyzer analyzer(tiny_profile());
+  EXPECT_THROW(analyzer.curve(starlink_residential(), 0.05, 1),
+               std::invalid_argument);
+  EXPECT_THROW(analyzer.curve(starlink_residential(), 0.0, 10),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------ parameterized: threshold ----
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, LooserThresholdNeverIncreasesUnaffordability) {
+  const double threshold = GetParam();
+  const AffordabilityAnalyzer analyzer(national_profile());
+  const auto strict =
+      analyzer.evaluate(starlink_residential(), threshold);
+  const auto loose =
+      analyzer.evaluate(starlink_residential(), threshold * 1.5);
+  EXPECT_LE(loose.locations_unable, strict.locations_unable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(0.01, 0.015, 0.02, 0.025, 0.03,
+                                           0.04));
+
+}  // namespace
+}  // namespace leodivide::afford

@@ -1,0 +1,583 @@
+// Unit tests for leodivide::core — the paper's analytical model. These pin
+// the library's outputs to the published numbers (Table 1, F1, Table 2,
+// Figures 2 and 3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "leodivide/core/beamspread.hpp"
+#include "leodivide/core/capacity_model.hpp"
+#include "leodivide/core/longtail.hpp"
+#include "leodivide/core/oversubscription.hpp"
+#include "leodivide/core/report.hpp"
+#include "leodivide/core/scenario.hpp"
+#include "leodivide/core/served_fraction.hpp"
+#include "leodivide/core/sizing.hpp"
+#include "leodivide/demand/calibration.hpp"
+#include "leodivide/demand/generator.hpp"
+
+namespace leodivide::core {
+namespace {
+
+const demand::DemandProfile& national_profile() {
+  static const demand::DemandProfile profile =
+      demand::SyntheticGenerator(demand::GeneratorConfig{}).generate_profile();
+  return profile;
+}
+
+// --------------------------------------------------------- capacity model ----
+
+TEST(CapacityModel, Table1Numbers) {
+  const SatelliteCapacityModel model;
+  EXPECT_NEAR(model.cell_capacity_gbps(), 17.325, 1e-9);
+  EXPECT_NEAR(model.beam_capacity_gbps(), 4.33125, 1e-9);
+  EXPECT_NEAR(model.cell_demand_gbps(5998), 599.8, 1e-9);
+  EXPECT_NEAR(model.required_oversubscription(5998), 34.62, 0.01);
+  EXPECT_EQ(model.max_locations_at(20.0), 3465U);
+  EXPECT_EQ(model.max_locations_at(35.0), 6063U);
+}
+
+TEST(CapacityModel, Table1SummaryAgainstNationalProfile) {
+  const SatelliteCapacityModel model;
+  const Table1Summary t = model.table1(national_profile());
+  EXPECT_NEAR(t.ut_downlink_mhz, 3850.0, 1e-9);
+  EXPECT_NEAR(t.total_mhz, 8850.0, 1e-9);
+  EXPECT_EQ(t.ut_beams, 24U);
+  EXPECT_EQ(t.total_beams, 28U);
+  EXPECT_NEAR(t.spectral_efficiency, 4.5, 1e-12);
+  EXPECT_EQ(t.peak_cell_users, 5998U);
+  EXPECT_NEAR(t.peak_cell_demand_gbps, 599.8, 1e-9);
+  EXPECT_NEAR(t.max_oversubscription, 35.0, 0.5);  // paper rounds ~35:1
+}
+
+TEST(CapacityModel, BeamsNeededLadder) {
+  const SatelliteCapacityModel model;
+  // At 20:1 a beam carries 866 locations.
+  EXPECT_EQ(model.beams_needed(0, 20.0), 0U);
+  EXPECT_EQ(model.beams_needed(1, 20.0), 1U);
+  EXPECT_EQ(model.beams_needed(866, 20.0), 1U);
+  EXPECT_EQ(model.beams_needed(867, 20.0), 2U);
+  EXPECT_EQ(model.beams_needed(1733, 20.0), 3U);
+  EXPECT_EQ(model.beams_needed(2599, 20.0), 4U);
+  EXPECT_EQ(model.beams_needed(3465, 20.0), 4U);
+  // Above the cap the beam count saturates at 4 (capacity binds instead).
+  EXPECT_EQ(model.beams_needed(5998, 20.0), 4U);
+}
+
+TEST(CapacityModel, RejectsBadOversub) {
+  const SatelliteCapacityModel model;
+  EXPECT_THROW(model.max_locations_at(0.0), std::invalid_argument);
+  EXPECT_THROW(model.beams_needed(10, -1.0), std::invalid_argument);
+}
+
+TEST(CapacityModel, RequiredOversubscriptionIsLinear) {
+  const SatelliteCapacityModel model;
+  EXPECT_NEAR(model.required_oversubscription(3465), 20.0, 0.01);
+  EXPECT_NEAR(model.required_oversubscription(1733) * 2.0,
+              model.required_oversubscription(3466), 0.01);
+}
+
+// -------------------------------------------------------- oversubscription ----
+
+TEST(Oversubscription, F1NumbersReproduce) {
+  const OversubscriptionReport r =
+      analyze_oversubscription(national_profile(), SatelliteCapacityModel());
+  EXPECT_EQ(r.max_locations_at_cap, 3465U);
+  EXPECT_EQ(r.cells_above_cap, 5U);
+  EXPECT_EQ(r.locations_above_cap, 22428U);
+  EXPECT_EQ(r.locations_unservable_at_cap, 5103U);
+  EXPECT_NEAR(r.servable_fraction_at_cap, 0.9989, 0.0001);
+  EXPECT_NEAR(r.peak_oversubscription, 34.62, 0.01);
+}
+
+TEST(Oversubscription, LooserCapServesEveryone) {
+  const OversubscriptionReport r = analyze_oversubscription(
+      national_profile(), SatelliteCapacityModel(), 35.0);
+  EXPECT_EQ(r.locations_unservable_at_cap, 0U);
+  EXPECT_DOUBLE_EQ(r.servable_fraction_at_cap, 1.0);
+}
+
+TEST(Oversubscription, EmptyProfileIsFullyServable) {
+  demand::CountyTable counties;
+  counties.add({"90001", {}, 1.0, 0});
+  const demand::DemandProfile empty({}, std::move(counties));
+  const OversubscriptionReport r =
+      analyze_oversubscription(empty, SatelliteCapacityModel());
+  EXPECT_DOUBLE_EQ(r.servable_fraction_at_cap, 1.0);
+}
+
+// --------------------------------------------------------------- beamspread ----
+
+TEST(Beamspread, SpreadCapacityAndLimits) {
+  const SatelliteCapacityModel model;
+  EXPECT_NEAR(spread_cell_capacity_gbps(model, 1.0), 17.325, 1e-9);
+  EXPECT_NEAR(spread_cell_capacity_gbps(model, 5.0), 3.465, 1e-9);
+  EXPECT_EQ(max_locations_spread(model, 1.0, 20.0), 3465U);
+  EXPECT_EQ(max_locations_spread(model, 5.0, 20.0), 693U);
+}
+
+TEST(Beamspread, CellServedCriterion) {
+  const SatelliteCapacityModel model;
+  EXPECT_TRUE(cell_served(model, 693, 5.0, 20.0));
+  EXPECT_FALSE(cell_served(model, 694, 5.0, 20.0));
+  EXPECT_THROW(cell_served(model, 1, 1.0, 0.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- served fraction ----
+
+TEST(ServedFraction, Fig2CornersMatchPaperColorbar) {
+  const SatelliteCapacityModel model;
+  // Bottom-left of Fig 2 (beamspread 14, oversub 5) ~ 0.36; top-right
+  // (beamspread 2, oversub 30) ~ 0.99+.
+  const double lo = served_cell_fraction(national_profile(), model, 14.0, 5.0);
+  const double hi = served_cell_fraction(national_profile(), model, 2.0, 30.0);
+  EXPECT_NEAR(lo, 0.36, 0.02);
+  EXPECT_GE(hi, 0.99);
+}
+
+TEST(ServedFraction, MonotoneInBothAxes) {
+  const SatelliteCapacityModel model;
+  const auto& p = national_profile();
+  EXPECT_LE(served_cell_fraction(p, model, 10.0, 10.0),
+            served_cell_fraction(p, model, 5.0, 10.0));
+  EXPECT_LE(served_cell_fraction(p, model, 10.0, 10.0),
+            served_cell_fraction(p, model, 10.0, 20.0));
+}
+
+TEST(ServedFraction, LocationFractionAtUnitSpread) {
+  // At beamspread 1 and the 20:1 cap, 99.89% of locations are servable —
+  // but served_location_fraction counts whole cells, so cells above the cap
+  // contribute nothing: 1 - 22428/4.67M = 0.9952.
+  const SatelliteCapacityModel model;
+  const double f =
+      served_location_fraction(national_profile(), model, 1.0, 20.0);
+  EXPECT_NEAR(f, 1.0 - 22428.0 / 4672500.0, 1e-6);
+}
+
+TEST(ServedFraction, GridShapeMatchesAxes) {
+  const SatelliteCapacityModel model;
+  const auto grid = served_fraction_grid(national_profile(), model,
+                                         {2.0, 8.0, 14.0}, {5.0, 20.0});
+  ASSERT_EQ(grid.size(), 3U);
+  ASSERT_EQ(grid[0].size(), 2U);
+  // Fractions are fractions.
+  for (const auto& row : grid) {
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- sizing ----
+
+TEST(Sizing, CoverageUnitsMatchReverseEngineeredK) {
+  // K at the calibrated binding latitudes must reproduce the paper's
+  // Table 2 constants (that is how the latitudes were derived).
+  const SizingModel model;
+  const double lat_full = demand::paper::binding_latitude_for_k(
+      demand::paper::kKFullService, model.cell_area_km2);
+  EXPECT_NEAR(coverage_units(model, lat_full), demand::paper::kKFullService,
+              1.0);
+}
+
+TEST(Sizing, SatellitesFromKMatchesPaperFormula) {
+  const SizingModel model;
+  // N = K / (1 + 20 s) for b = 4.
+  EXPECT_NEAR(satellites_from_k(model, 1665076.0, 1.0, 4), 79289.3, 1.0);
+  EXPECT_NEAR(satellites_from_k(model, 1665076.0, 5.0, 4), 16486.0, 1.0);
+  EXPECT_NEAR(satellites_from_k(model, 1691819.0, 15.0, 4), 5620.7, 1.0);
+}
+
+TEST(Sizing, Table2FullServiceWithinHalfPercent) {
+  const SizingModel model;
+  const struct { double s; double paper; } rows[] = {
+      {1, 79287}, {2, 40611}, {5, 16486}, {10, 8284}, {15, 5532}};
+  for (const auto& row : rows) {
+    const SizingResult r = size_full_service(national_profile(), model, row.s);
+    EXPECT_NEAR(r.satellites, row.paper, row.paper * 0.005)
+        << "beamspread " << row.s;
+    EXPECT_EQ(r.beams_on_binding, 4U);
+  }
+}
+
+TEST(Sizing, Table2CappedWithinHalfPercent) {
+  const SizingModel model;
+  const struct { double s; double paper; } rows[] = {
+      {1, 80567}, {2, 41261}, {5, 16750}, {10, 8417}, {15, 5621}};
+  for (const auto& row : rows) {
+    const SizingResult r =
+        size_with_cap(national_profile(), model, row.s, 20.0);
+    EXPECT_NEAR(r.satellites, row.paper, row.paper * 0.005)
+        << "beamspread " << row.s;
+    EXPECT_EQ(r.beams_on_binding, 4U);
+  }
+}
+
+TEST(Sizing, CappedScenarioNeedsMoreSatellitesThanFullService) {
+  // The paper's counterintuitive Table-2 property: the 20:1 cap binds at a
+  // cell slightly further from the inclination latitude, so it needs MORE
+  // satellites than full service at every beamspread.
+  const SizingModel model;
+  for (double s : {1.0, 2.0, 5.0, 10.0, 15.0}) {
+    EXPECT_GT(size_with_cap(national_profile(), model, s, 20.0).satellites,
+              size_full_service(national_profile(), model, s).satellites);
+  }
+}
+
+TEST(Sizing, FullServiceBindingIsThePeakCell) {
+  const SizingModel model;
+  const SizingResult r = size_full_service(national_profile(), model, 1.0);
+  EXPECT_EQ(national_profile().cells()[r.binding_cell_index].underserved,
+            5998U);
+  EXPECT_NEAR(r.binding_lat_deg, 37.0, 0.5);
+}
+
+TEST(Sizing, CappedBindingIsTheSouthernmostFourBeamCell) {
+  const SizingModel model;
+  const SizingResult r = size_with_cap(national_profile(), model, 1.0, 20.0);
+  EXPECT_NEAR(r.binding_lat_deg, 36.4, 0.5);
+  // The binding cell is one of the five planted peaks (truncated to 3465).
+  EXPECT_GT(national_profile().cells()[r.binding_cell_index].underserved,
+            3465U);
+}
+
+TEST(Sizing, MoreBeamspreadAlwaysShrinksConstellation) {
+  const SizingModel model;
+  double prev = 1e18;
+  for (double s : {1.0, 2.0, 5.0, 10.0, 15.0}) {
+    const double n = size_full_service(national_profile(), model, s).satellites;
+    EXPECT_LT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Sizing, RejectsEmptyProfileAndBadK) {
+  demand::CountyTable counties;
+  counties.add({"90001", {}, 1.0, 0});
+  const demand::DemandProfile empty({}, std::move(counties));
+  const SizingModel model;
+  EXPECT_THROW(size_full_service(empty, model, 1.0), std::invalid_argument);
+  EXPECT_THROW(size_with_cap(empty, model, 1.0, 20.0), std::invalid_argument);
+  EXPECT_THROW(satellites_from_k(model, 0.0, 1.0, 4), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- longtail ----
+
+TEST(LongTail, ResidueMatchesF1) {
+  const SizingModel model;
+  const auto curve = longtail_curve(national_profile(), model, 10.0, 20.0);
+  ASSERT_GE(curve.size(), 2U);
+  // The first point's unserved count is the 20:1 unservable residue (5103).
+  EXPECT_EQ(curve.front().locations_unserved, 5103U);
+}
+
+TEST(LongTail, FirstPointMatchesTable2) {
+  const SizingModel model;
+  for (double s : {1.0, 5.0, 10.0}) {
+    const auto curve = longtail_curve(national_profile(), model, s, 20.0);
+    const SizingResult direct =
+        size_with_cap(national_profile(), model, s, 20.0);
+    EXPECT_NEAR(curve.front().satellites, direct.satellites, 1e-6);
+  }
+}
+
+TEST(LongTail, CurveIsMonotone) {
+  const SizingModel model;
+  const auto curve = longtail_curve(national_profile(), model, 10.0, 20.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].locations_unserved, curve[i - 1].locations_unserved);
+    EXPECT_LE(curve[i].satellites, curve[i - 1].satellites);
+  }
+}
+
+TEST(LongTail, DiminishingReturnsAreSignificant) {
+  // F3: connecting the final few thousand locations costs hundreds to
+  // thousands of satellites. Compare the constellation at the residue vs
+  // 50k unserved.
+  const SizingModel model;
+  const auto curve = longtail_curve(national_profile(), model, 10.0, 20.0);
+  const double full = satellites_for_unserved_budget(curve, 5103);
+  const double relaxed = satellites_for_unserved_budget(curve, 50000);
+  EXPECT_GT(full - relaxed, 200.0);
+}
+
+TEST(LongTail, BudgetLookupSemantics) {
+  const SizingModel model;
+  const auto curve = longtail_curve(national_profile(), model, 5.0, 20.0);
+  // Exactly at the residue: the full capped deployment.
+  EXPECT_NEAR(satellites_for_unserved_budget(curve, 5103),
+              curve.front().satellites, 1e-9);
+  // Below the residue: impossible.
+  EXPECT_THROW(satellites_for_unserved_budget(curve, 0),
+               std::invalid_argument);
+  // A huge budget reaches the one-beam floor.
+  EXPECT_NEAR(satellites_for_unserved_budget(curve, 100000000ULL),
+              curve.back().satellites, 1e-9);
+}
+
+TEST(LongTail, StricterOversubIncreasesResidue) {
+  const SizingModel model;
+  const auto at20 = longtail_curve(national_profile(), model, 5.0, 20.0);
+  const auto at15 = longtail_curve(national_profile(), model, 5.0, 15.0);
+  EXPECT_GT(at15.front().locations_unserved, at20.front().locations_unserved);
+}
+
+// ----------------------------------------------------------------- scenario ----
+
+TEST(Scenario, FullAnalysisIsConsistent) {
+  const AnalysisResults r = run_full_analysis(national_profile());
+  EXPECT_EQ(r.table2.size(), 5U);
+  EXPECT_EQ(r.fig2_grid.size(), r.fig2_beamspreads.size());
+  EXPECT_EQ(r.fig3.size(), 6U);
+  EXPECT_EQ(r.fig4.size(), 4U);
+  EXPECT_NEAR(r.fig4_starlink_threshold_income, 72000.0, 1e-6);
+  EXPECT_NEAR(r.fig4_lifeline_threshold_income, 66450.0, 1e-6);
+}
+
+TEST(Scenario, ReportRendersEverySection) {
+  const AnalysisResults r = run_full_analysis(national_profile());
+  const std::string report = render_report(r);
+  for (const char* needle :
+       {"Table 1", "F1", "Table 2", "Figure 2", "Figure 3", "Figure 4",
+        "3850", "5,998", "22,428", "74.5%"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+// ----------------------------------------- parameterized: sizing invariants ----
+
+class SizingInvariants : public ::testing::TestWithParam<double> {};
+
+TEST_P(SizingInvariants, KIdentityHoldsAcrossBeamspreads) {
+  // N(s) * (1 + 20 s) is constant per scenario — the identity that let us
+  // reverse-engineer the paper's Table 2.
+  const double s = GetParam();
+  const SizingModel model;
+  const double n_full =
+      size_full_service(national_profile(), model, s).satellites;
+  const double n1 =
+      size_full_service(national_profile(), model, 1.0).satellites;
+  EXPECT_NEAR(n_full * (1.0 + 20.0 * s), n1 * 21.0, n1 * 21.0 * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Beamspreads, SizingInvariants,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0, 7.5, 10.0,
+                                           12.0, 15.0));
+
+}  // namespace
+}  // namespace leodivide::core
+
+// Appended: extension modules (core/uplink.hpp, core/backhaul.hpp).
+#include "leodivide/core/backhaul.hpp"
+#include "leodivide/core/uplink.hpp"
+
+namespace leodivide::core {
+namespace {
+
+TEST(Uplink, FederalUplinkDemandIs20Mbps) {
+  EXPECT_DOUBLE_EQ(location_uplink_demand_gbps(), 0.02);
+}
+
+TEST(Uplink, DefaultModelCapacity) {
+  const UplinkModel up;
+  EXPECT_NEAR(up.cell_capacity_gbps(), 1.25, 1e-9);  // 500 MHz x 2.5 bps/Hz
+}
+
+TEST(Uplink, PeakCellUplinkBindsHarderThanDownlink) {
+  const SatelliteCapacityModel down;
+  const UplinkModel up;
+  const auto r = analyze_uplink(down, up, 5998);
+  EXPECT_NEAR(r.downlink_oversubscription, 34.62, 0.01);
+  EXPECT_NEAR(r.uplink_oversubscription, 95.97, 0.05);
+  EXPECT_GT(r.uplink_to_downlink_ratio, 2.5);
+  // At a 20:1 uplink rule the cell serves far fewer locations than the
+  // downlink's 3465.
+  EXPECT_EQ(r.max_locations_at_20to1_uplink, 1250U);
+  EXPECT_LT(r.max_locations_at_20to1_uplink, down.max_locations_at(20.0));
+}
+
+TEST(Uplink, RatioIsLocationIndependent) {
+  const SatelliteCapacityModel down;
+  const UplinkModel up;
+  const double r1 = analyze_uplink(down, up, 100).uplink_to_downlink_ratio;
+  const double r2 = analyze_uplink(down, up, 5998).uplink_to_downlink_ratio;
+  EXPECT_NEAR(r1, r2, 1e-9);
+}
+
+TEST(Uplink, RejectsBadModel) {
+  const SatelliteCapacityModel down;
+  UplinkModel bad;
+  bad.ut_uplink_mhz = 0.0;
+  EXPECT_THROW((void)analyze_uplink(down, bad, 10), std::invalid_argument);
+}
+
+TEST(Backhaul, DefaultModelRoughlySustainsUserBeams) {
+  const SatelliteCapacityModel model;
+  const BackhaulModel bh;
+  const auto r = analyze_backhaul(model, bh);
+  // 24 beams x 4.33125 = 103.95 Gbps of user capacity.
+  EXPECT_NEAR(r.user_capacity_gbps, 103.95, 0.01);
+  // 2 links x 7100 MHz x 4.5 = 63.9 Gbps feeder.
+  EXPECT_NEAR(r.feeder_capacity_gbps, 63.9, 0.01);
+  EXPECT_NEAR(r.adequacy_ratio, 0.615, 0.005);
+  EXPECT_NEAR(r.bent_pipe_fraction, 0.615, 0.005);
+}
+
+TEST(Backhaul, MoreFeederLinksImproveAdequacy) {
+  const SatelliteCapacityModel model;
+  BackhaulModel bh;
+  bh.feeder_links = 4;
+  const auto r = analyze_backhaul(model, bh);
+  EXPECT_GT(r.adequacy_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(r.bent_pipe_fraction, 1.0);
+}
+
+TEST(Backhaul, GatewaySitesScaleWithFleet) {
+  const BackhaulModel bh;
+  const double small = gateway_sites_needed(bh, 8000.0, 53.0, 39.5, 8.1e6);
+  const double large = gateway_sites_needed(bh, 40000.0, 53.0, 39.5, 8.1e6);
+  EXPECT_GT(small, 10.0);
+  EXPECT_NEAR(large / small, 5.0, 0.1);  // ceil() wiggle
+}
+
+TEST(Backhaul, RejectsBadInputs) {
+  const SatelliteCapacityModel model;
+  BackhaulModel bad;
+  bad.feeder_links = 0;
+  EXPECT_THROW((void)analyze_backhaul(model, bad), std::invalid_argument);
+  const BackhaulModel bh;
+  EXPECT_THROW((void)gateway_sites_needed(bh, 0.0, 53.0, 39.5, 8.1e6),
+               std::invalid_argument);
+  EXPECT_THROW((void)gateway_sites_needed(bh, 1000.0, 53.0, 39.5, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leodivide::core
+
+// Appended: serving economics (core/economics.hpp).
+#include "leodivide/core/economics.hpp"
+
+namespace leodivide::core {
+namespace {
+
+TEST(Economics, AmortisedFleetCost) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.annual_fleet_cost_usd(5.0), 1'000'000.0);
+  EXPECT_DOUBLE_EQ(cost.annual_fleet_cost_usd(0.0), 0.0);
+  EXPECT_THROW((void)cost.annual_fleet_cost_usd(-1.0), std::invalid_argument);
+  CostModel bad;
+  bad.satellite_lifetime_years = 0.0;
+  EXPECT_THROW((void)bad.annual_fleet_cost_usd(1.0), std::invalid_argument);
+}
+
+TEST(Economics, LongtailEconomicsOrderingAndMarginals) {
+  std::vector<LongTailPoint> curve{
+      {1000, 5000.0, 4, 37.0},   // serve all but 1000 with 5000 sats
+      {5000, 4000.0, 3, 37.0},   // cheaper: 4000 sats, 5000 unserved
+      {20000, 3000.0, 2, 37.0},  // cheapest
+  };
+  const CostModel cost;
+  const auto econ = longtail_economics(curve, 100000, cost);
+  ASSERT_EQ(econ.size(), 3U);
+  // Ordered cheapest (most unserved) first.
+  EXPECT_EQ(econ.front().locations_unserved, 20000U);
+  EXPECT_EQ(econ.back().locations_unserved, 1000U);
+  EXPECT_EQ(econ.front().locations_served, 80000U);
+  // Average cost: 3000 sats * $1M / 5yr / 80k locations = $7,500.
+  EXPECT_NEAR(econ.front().cost_per_location_year_usd, 7500.0, 1e-9);
+  // Marginal from 80k to 95k served: (4000-3000) sats * $0.2M/yr each over
+  // 15,000 extra locations = $13,333.33.
+  EXPECT_NEAR(econ[1].marginal_cost_per_location_year_usd, 13333.33, 0.01);
+  // Marginals grow toward the tail (diminishing returns).
+  EXPECT_GT(econ[2].marginal_cost_per_location_year_usd,
+            econ[1].marginal_cost_per_location_year_usd);
+}
+
+TEST(Economics, RejectsDegenerateInputs) {
+  const CostModel cost;
+  EXPECT_THROW((void)longtail_economics({}, 100, cost),
+               std::invalid_argument);
+  std::vector<LongTailPoint> curve{{10, 100.0, 1, 37.0}};
+  EXPECT_THROW((void)longtail_economics(curve, 0, cost),
+               std::invalid_argument);
+}
+
+TEST(Economics, RevenueCeilingMatchesAffordability) {
+  const afford::AffordabilityAnalyzer analyzer(national_profile());
+  const double rev = annual_revenue_ceiling_usd(
+      analyzer, afford::starlink_residential());
+  const auto r = analyzer.evaluate(afford::starlink_residential());
+  const double affordable =
+      analyzer.income().total_locations() - r.locations_unable;
+  EXPECT_NEAR(rev, affordable * 120.0 * 12.0, 1.0);
+  // ~25.5% of 4.67M at $1440/yr: about $1.7B.
+  EXPECT_NEAR(rev, 1.72e9, 0.05e9);
+}
+
+TEST(Economics, NationalMarginalCostsExplodeInTheTail) {
+  const SizingModel model;
+  const auto curve = longtail_curve(national_profile(), model, 10.0, 20.0);
+  const auto econ = longtail_economics(
+      curve, national_profile().total_locations(), CostModel{});
+  // The very last step (serving down to the residue) costs far more per
+  // location-year than the deployment's average cost per location-year.
+  ASSERT_GE(econ.size(), 3U);
+  EXPECT_GT(econ.back().marginal_cost_per_location_year_usd,
+            20.0 * econ.back().cost_per_location_year_usd);
+}
+
+}  // namespace
+}  // namespace leodivide::core
+
+// Appended: broader parameterized property suites.
+namespace leodivide::core {
+namespace {
+
+class LongtailConsistency
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LongtailConsistency, FirstPointMatchesDirectSizing) {
+  const auto [s, oversub] = GetParam();
+  const SizingModel model;
+  const auto curve = longtail_curve(national_profile(), model, s, oversub);
+  const auto direct = size_with_cap(national_profile(), model, s, oversub);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_NEAR(curve.front().satellites, direct.satellites, 1e-6)
+      << "s=" << s << " oversub=" << oversub;
+  // Monotone non-increasing satellites along ascending unserved.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].satellites, curve[i - 1].satellites + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LongtailConsistency,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 5.0, 10.0, 15.0),
+                       ::testing::Values(15.0, 20.0, 25.0)));
+
+class ServedFractionMonotone
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ServedFractionMonotone, TighterParametersServeNoMore) {
+  const auto [s, oversub] = GetParam();
+  const SatelliteCapacityModel model;
+  const double base =
+      served_cell_fraction(national_profile(), model, s, oversub);
+  EXPECT_LE(served_cell_fraction(national_profile(), model, s * 1.5, oversub),
+            base + 1e-12);
+  EXPECT_LE(served_cell_fraction(national_profile(), model, s, oversub * 0.5),
+            base + 1e-12);
+  EXPECT_GE(base, 0.0);
+  EXPECT_LE(base, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServedFractionMonotone,
+    ::testing::Combine(::testing::Values(1.0, 4.0, 8.0, 14.0),
+                       ::testing::Values(5.0, 15.0, 30.0)));
+
+}  // namespace
+}  // namespace leodivide::core

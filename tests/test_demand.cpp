@@ -1,0 +1,738 @@
+// Unit tests for leodivide::demand — locations, counties, datasets, the
+// calibrated synthetic generator, and aggregation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "leodivide/demand/aggregate.hpp"
+#include "leodivide/demand/calibration.hpp"
+#include "leodivide/demand/generator.hpp"
+#include "leodivide/geo/us_outline.hpp"
+#include "leodivide/stats/percentile.hpp"
+#include "leodivide/stats/rng.hpp"
+
+namespace leodivide::demand {
+namespace {
+
+// Shared full-scale profile: generated once for the whole test binary (the
+// generator is deterministic, so this is safe and fast).
+const DemandProfile& national_profile() {
+  static const DemandProfile profile =
+      SyntheticGenerator(demand::GeneratorConfig{}).generate_profile();
+  return profile;
+}
+
+// --------------------------------------------------------------- location ----
+
+TEST(Location, ReliableBroadbandThresholds) {
+  EXPECT_TRUE(is_reliable({100.0, 20.0}));
+  EXPECT_TRUE(is_reliable({940.0, 35.0}));
+  EXPECT_FALSE(is_reliable({99.9, 20.0}));
+  EXPECT_FALSE(is_reliable({100.0, 19.9}));
+  EXPECT_FALSE(is_reliable({25.0, 3.0}));
+}
+
+TEST(Location, UnderservedFollowsBestOffer) {
+  Location l;
+  l.best_offer = {25.0, 3.0};
+  EXPECT_TRUE(l.underserved());
+  l.best_offer = {300.0, 30.0};
+  EXPECT_FALSE(l.underserved());
+}
+
+TEST(Location, DemandIsHundredMegabits) {
+  EXPECT_DOUBLE_EQ(location_demand_gbps(), 0.1);
+}
+
+TEST(Location, TechnologyStringsRoundTrip) {
+  for (Technology t : {Technology::kNone, Technology::kDsl, Technology::kCable,
+                       Technology::kFiber, Technology::kFixedWireless,
+                       Technology::kGeoSatellite}) {
+    EXPECT_EQ(technology_from_string(to_string(t)), t);
+  }
+  EXPECT_THROW(technology_from_string("carrier-pigeon"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- county ----
+
+TEST(CountyTableTest, AddFindAndTotals) {
+  CountyTable table;
+  const auto i = table.add({"90001", {36.0, -90.0}, 50000.0, 100});
+  const auto j = table.add({"90002", {37.0, -91.0}, 60000.0, 200});
+  EXPECT_EQ(table.size(), 2U);
+  EXPECT_EQ(table.find("90002"), static_cast<std::int64_t>(j));
+  EXPECT_EQ(table.find("99999"), -1);
+  EXPECT_EQ(table.at(i).fips, "90001");
+  EXPECT_EQ(table.total_underserved(), 300U);
+}
+
+TEST(CountyTableTest, RejectsDuplicatesAndBadIndex) {
+  CountyTable table;
+  table.add({"90001", {}, 1.0, 0});
+  EXPECT_THROW(table.add({"90001", {}, 2.0, 0}), std::invalid_argument);
+  EXPECT_THROW(table.at(5), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- dataset ----
+
+TEST(CellDemandTest, DemandScalesWithLocations) {
+  CellDemand cd;
+  cd.underserved = 5998;
+  EXPECT_NEAR(cd.demand_gbps(), 599.8, 1e-9);
+}
+
+TEST(DemandProfileTest, RejectsBadCountyIndex) {
+  CountyTable counties;
+  counties.add({"90001", {}, 1.0, 0});
+  std::vector<CellDemand> cells(1);
+  cells[0].county_index = 7;
+  EXPECT_THROW(DemandProfile(std::move(cells), std::move(counties)),
+               std::invalid_argument);
+}
+
+TEST(DemandProfileTest, OrderingAndPeak) {
+  CountyTable counties;
+  counties.add({"90001", {}, 1.0, 0});
+  std::vector<CellDemand> cells(3);
+  cells[0].cell = hex::CellId(5, {0, 0});
+  cells[0].underserved = 10;
+  cells[1].cell = hex::CellId(5, {1, 0});
+  cells[1].underserved = 30;
+  cells[2].cell = hex::CellId(5, {2, 0});
+  cells[2].underserved = 20;
+  const DemandProfile profile(std::move(cells), std::move(counties));
+  EXPECT_EQ(profile.peak_cell_count(), 30U);
+  EXPECT_EQ(profile.total_locations(), 60U);
+  const auto order = profile.cells_by_count_desc();
+  EXPECT_EQ(profile.cells()[order[0]].underserved, 30U);
+  EXPECT_EQ(profile.cells()[order[2]].underserved, 10U);
+}
+
+TEST(DemandProfileTest, CsvRoundTrip) {
+  const SyntheticGenerator gen({.seed = 7, .scale = 0.002});
+  const DemandProfile profile = gen.generate_profile();
+  std::ostringstream cells_out, counties_out;
+  profile.save_csv(cells_out, counties_out);
+  std::istringstream cells_in(cells_out.str()), counties_in(counties_out.str());
+  const DemandProfile back = DemandProfile::load_csv(cells_in, counties_in);
+  ASSERT_EQ(back.cell_count(), profile.cell_count());
+  EXPECT_EQ(back.total_locations(), profile.total_locations());
+  EXPECT_EQ(back.counties().size(), profile.counties().size());
+  for (std::size_t i = 0; i < profile.cell_count(); ++i) {
+    EXPECT_EQ(back.cells()[i].cell, profile.cells()[i].cell);
+    EXPECT_EQ(back.cells()[i].underserved, profile.cells()[i].underserved);
+  }
+}
+
+TEST(DemandDatasetTest, CsvRoundTrip) {
+  const SyntheticGenerator gen({.seed = 7, .scale = 0.002});
+  const DemandDataset data =
+      gen.expand_locations(gen.generate_profile(), 0.05);
+  ASSERT_GT(data.size(), 0U);
+  std::ostringstream loc_out, county_out;
+  data.save_csv(loc_out, county_out);
+  std::istringstream loc_in(loc_out.str()), county_in(county_out.str());
+  const DemandDataset back = DemandDataset::load_csv(loc_in, county_in);
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_EQ(back.underserved_count(), data.underserved_count());
+  EXPECT_EQ(back.locations()[0].technology, data.locations()[0].technology);
+}
+
+// ------------------------------------------------------------- calibration ----
+
+TEST(Calibration, PaperConstantsAreConsistent) {
+  // The planted peaks sum to the published 22,428 and top out at 5,998.
+  std::uint64_t sum = 0;
+  for (std::uint32_t c : paper::kPlantedPeakCells) sum += c;
+  EXPECT_EQ(sum, paper::kPeakCellLocationSum);
+  EXPECT_EQ(*std::max_element(paper::kPlantedPeakCells.begin(),
+                              paper::kPlantedPeakCells.end()),
+            static_cast<std::uint32_t>(paper::kPerCellMax));
+  // 22,428 is 0.48% of the total (the paper's own derivation).
+  EXPECT_NEAR(static_cast<double>(paper::kPeakCellLocationSum) /
+                  static_cast<double>(paper::kTotalLocations),
+              0.0048, 1e-4);
+}
+
+TEST(Calibration, CellQuantilePinsPaperPercentiles) {
+  const auto q = paper::cell_count_quantile();
+  EXPECT_NEAR(q(0.90), paper::kPerCellP90, 1e-6);
+  EXPECT_NEAR(q(0.99), paper::kPerCellP99, 1e-6);
+  EXPECT_NEAR(q(0.36), 62.0, 1e-6);
+  // No generated cell may exceed the 20:1 limit of 3465 locations.
+  EXPECT_LT(q(1.0), 3465.0);
+}
+
+TEST(Calibration, MaxLocationsAtOversub) {
+  EXPECT_EQ(paper::max_locations_at_oversub(17.325, 20.0), 3465U);
+  EXPECT_EQ(paper::max_locations_at_oversub(17.3, 20.0), 3460U);
+  EXPECT_THROW(paper::max_locations_at_oversub(0.0, 20.0),
+               std::invalid_argument);
+}
+
+TEST(Calibration, BindingLatitudesReproduceTable2Constants) {
+  const double area = hex::cell_area_km2(5);
+  const double lat_full =
+      paper::binding_latitude_for_k(paper::kKFullService, area);
+  const double lat_cap = paper::binding_latitude_for_k(paper::kK20To1, area);
+  // Both binding cells sit in the mid-30s latitudes, full-service slightly
+  // north of the 20:1 cell (larger K = further from the inclination).
+  EXPECT_NEAR(lat_full, 37.0, 0.5);
+  EXPECT_NEAR(lat_cap, 36.4, 0.5);
+  EXPECT_GT(lat_full, lat_cap);
+}
+
+TEST(Calibration, BindingLatitudeRejectsUnreachableK) {
+  EXPECT_THROW(paper::binding_latitude_for_k(1e12, 252.9),
+               std::domain_error);
+  EXPECT_THROW(paper::binding_latitude_for_k(-1.0, 252.9),
+               std::invalid_argument);
+}
+
+TEST(Calibration, IncomeQuantilePinsAffordabilityAnchors) {
+  const auto q = paper::income_quantile();
+  EXPECT_NEAR(q(paper::kFractionBelowLifelineThreshold), 66450.0, 1.0);
+  EXPECT_NEAR(q(paper::kFractionBelowStarlinkThreshold), 72000.0, 1.0);
+  EXPECT_NEAR(q(0.0), paper::kMinCountyIncomeUsd, 1.0);
+  // Almost no mass below the $30k Spectrum threshold.
+  EXPECT_LE(q.cdf(29999.0), 1e-4);
+}
+
+// --------------------------------------------------------------- generator ----
+
+TEST(Generator, NationalTotalsMatchPaper) {
+  const DemandProfile& p = national_profile();
+  EXPECT_EQ(p.total_locations(), paper::kTotalLocations);
+  EXPECT_EQ(p.peak_cell_count(), 5998U);
+}
+
+TEST(Generator, NationalPercentilesMatchFig1) {
+  const auto counts = national_profile().counts_as_doubles();
+  EXPECT_NEAR(stats::percentile(counts, 90.0), 552.0, 15.0);
+  EXPECT_NEAR(stats::percentile(counts, 99.0), 1437.0, 40.0);
+}
+
+TEST(Generator, ExactlyFiveCellsExceedTheCap) {
+  const DemandProfile& p = national_profile();
+  std::size_t above = 0;
+  std::uint64_t above_sum = 0;
+  for (const auto& c : p.cells()) {
+    if (c.underserved > 3465) {
+      ++above;
+      above_sum += c.underserved;
+    }
+  }
+  EXPECT_EQ(above, 5U);
+  EXPECT_EQ(above_sum, paper::kPeakCellLocationSum);
+}
+
+TEST(Generator, HeavyCellsRespectLatitudeFloor) {
+  const GeneratorConfig config;
+  for (const auto& c : national_profile().cells()) {
+    if (c.underserved > 650 && c.underserved <= 3465) {
+      EXPECT_GE(c.center.lat_deg, config.heavy_cell_min_lat_deg)
+          << "cell with " << c.underserved << " locations";
+    }
+  }
+}
+
+TEST(Generator, PlantedBindingCellsSitAtCalibratedLatitudes) {
+  const auto targets = SyntheticGenerator::planted_targets(5);
+  const DemandProfile& p = national_profile();
+  // The 5998 cell sits at the full-service binding latitude target.
+  for (const auto& c : p.cells()) {
+    if (c.underserved == 5998) {
+      EXPECT_NEAR(c.center.lat_deg, targets[0].lat_deg, 0.15);
+    }
+    if (c.underserved == 4580) {
+      EXPECT_NEAR(c.center.lat_deg, targets[1].lat_deg, 0.15);
+    }
+  }
+}
+
+TEST(Generator, IsDeterministic) {
+  const SyntheticGenerator a({.seed = 11, .scale = 0.005});
+  const SyntheticGenerator b({.seed = 11, .scale = 0.005});
+  const DemandProfile pa = a.generate_profile();
+  const DemandProfile pb = b.generate_profile();
+  ASSERT_EQ(pa.cell_count(), pb.cell_count());
+  for (std::size_t i = 0; i < pa.cell_count(); ++i) {
+    EXPECT_EQ(pa.cells()[i].cell, pb.cells()[i].cell);
+    EXPECT_EQ(pa.cells()[i].underserved, pb.cells()[i].underserved);
+  }
+}
+
+TEST(Generator, DifferentSeedsChangeGeography) {
+  const DemandProfile pa =
+      SyntheticGenerator({.seed = 1, .scale = 0.005}).generate_profile();
+  const DemandProfile pb =
+      SyntheticGenerator({.seed = 2, .scale = 0.005}).generate_profile();
+  ASSERT_EQ(pa.cell_count(), pb.cell_count());
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < pa.cell_count(); ++i) {
+    if (pa.cells()[i].cell == pb.cells()[i].cell) ++same;
+  }
+  EXPECT_LT(same, pa.cell_count() / 2);
+}
+
+TEST(Generator, ScaleShrinksTotalsProportionally) {
+  const DemandProfile p =
+      SyntheticGenerator({.scale = 0.01}).generate_profile();
+  EXPECT_NEAR(static_cast<double>(p.total_locations()),
+              0.01 * static_cast<double>(paper::kTotalLocations), 5.0);
+}
+
+TEST(Generator, SmallScaleSkipsPlanting) {
+  // 0.5% of the national total is ~23k locations, close to the planted sum;
+  // planting is suppressed below 2x the planted mass.
+  const DemandProfile p =
+      SyntheticGenerator({.scale = 0.005}).generate_profile();
+  EXPECT_LT(p.peak_cell_count(), 3465U);
+}
+
+TEST(Generator, CellsAreInsideConus) {
+  for (const auto& c : national_profile().cells()) {
+    EXPECT_TRUE(geo::conus_outline().contains(c.center))
+        << c.center.lat_deg << "," << c.center.lon_deg;
+  }
+}
+
+TEST(Generator, CountiesCoverAllCells) {
+  const DemandProfile& p = national_profile();
+  std::uint64_t by_county = 0;
+  for (const auto& county : p.counties().all()) {
+    by_county += county.underserved_locations;
+  }
+  EXPECT_EQ(by_county, p.total_locations());
+  for (const auto& c : p.cells()) {
+    EXPECT_LT(c.county_index, p.counties().size());
+  }
+}
+
+TEST(Generator, CountyIncomesAreWithinCalibratedRange) {
+  for (const auto& county : national_profile().counties().all()) {
+    EXPECT_GE(county.median_income_usd, paper::kMinCountyIncomeUsd - 1.0);
+    EXPECT_LE(county.median_income_usd, paper::kMaxCountyIncomeUsd + 1.0);
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  EXPECT_THROW(SyntheticGenerator({.scale = 0.0}), std::invalid_argument);
+  EXPECT_THROW(SyntheticGenerator({.scale = 1.5}), std::invalid_argument);
+  EXPECT_THROW(SyntheticGenerator({.resolution = 3, .county_resolution = 3}),
+               std::invalid_argument);
+}
+
+TEST(Generator, ExpandLocationsMatchesProfileCounts) {
+  const SyntheticGenerator gen({.seed = 5, .scale = 0.002});
+  const DemandProfile profile = gen.generate_profile();
+  const DemandDataset data = gen.expand_locations(profile);
+  EXPECT_EQ(data.size(), profile.total_locations());
+  // Every expanded location is un(der)served by construction.
+  EXPECT_EQ(data.underserved_count(), data.size());
+}
+
+TEST(Generator, ExpandRejectsBadFraction) {
+  const SyntheticGenerator gen({.seed = 5, .scale = 0.002});
+  const DemandProfile profile = gen.generate_profile();
+  EXPECT_THROW(gen.expand_locations(profile, 0.0), std::invalid_argument);
+  EXPECT_THROW(gen.expand_locations(profile, 1.1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- aggregate ----
+
+TEST(Aggregate, RoundTripsGeneratorProfile) {
+  // Expanding a profile to locations and re-aggregating must reproduce the
+  // per-cell counts exactly (locations are scattered within their cell).
+  const SyntheticGenerator gen({.seed = 3, .scale = 0.002});
+  const DemandProfile profile = gen.generate_profile();
+  const DemandDataset data = gen.expand_locations(profile);
+  const hex::HexGrid grid;
+  const DemandProfile back = aggregate(data, grid, 5);
+  EXPECT_EQ(back.total_locations(), profile.total_locations());
+  EXPECT_EQ(back.cell_count(), profile.cell_count());
+  EXPECT_EQ(back.peak_cell_count(), profile.peak_cell_count());
+}
+
+TEST(Aggregate, ServedLocationsAreExcluded) {
+  CountyTable counties;
+  counties.add({"90001", {39.0, -98.0}, 50000.0, 0});
+  std::vector<Location> locs(3);
+  locs[0].position = {39.0, -98.0};
+  locs[0].best_offer = {25.0, 3.0};  // underserved
+  locs[1].position = {39.0, -98.0};
+  locs[1].best_offer = {300.0, 30.0};  // served
+  locs[2].position = {39.0, -98.0};
+  locs[2].best_offer = {0.0, 0.0};  // underserved
+  const DemandDataset data(std::move(locs), std::move(counties));
+  const DemandProfile profile = aggregate(data, hex::HexGrid(), 5);
+  EXPECT_EQ(profile.total_locations(), 2U);
+}
+
+TEST(Aggregate, CoarserResolutionMergesCells) {
+  // A dense cluster of locations: at a coarser resolution its cells must
+  // merge. (Sparse national scatter need not shrink, because this grid's
+  // aperture-4 hierarchy is center-based rather than strictly nested.)
+  CountyTable counties;
+  counties.add({"90001", {39.0, -98.0}, 50000.0, 0});
+  std::vector<Location> locs;
+  stats::Pcg32 rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    Location l;
+    l.id = static_cast<std::uint64_t>(i);
+    l.position = {38.5 + rng.next_double(), -98.5 + rng.next_double()};
+    l.best_offer = {25.0, 3.0};
+    locs.push_back(l);
+  }
+  const DemandDataset data(std::move(locs), std::move(counties));
+  const hex::HexGrid grid;
+  const DemandProfile fine = aggregate(data, grid, 5);
+  const DemandProfile coarse = aggregate(data, grid, 3);
+  EXPECT_LT(coarse.cell_count(), fine.cell_count());
+  EXPECT_EQ(coarse.total_locations(), fine.total_locations());
+}
+
+}  // namespace
+}  // namespace leodivide::demand
+
+// Appended: parametric region generator (demand/region.hpp).
+#include "leodivide/demand/region.hpp"
+
+namespace leodivide::demand {
+namespace {
+
+TEST(Region, GeneratesExactTotals) {
+  for (const RegionSpec& spec :
+       {dense_compact_region(), sparse_expansive_region(),
+        temperate_mixed_region()}) {
+    const DemandProfile profile = RegionGenerator(spec).generate();
+    EXPECT_EQ(profile.total_locations(), spec.total_locations) << spec.name;
+    EXPECT_GT(profile.cell_count(), 0U);
+    EXPECT_GT(profile.counties().size(), 0U);
+  }
+}
+
+TEST(Region, CellsLieInsideOutline) {
+  const RegionSpec spec = temperate_mixed_region();
+  const DemandProfile profile = RegionGenerator(spec).generate();
+  for (const auto& cell : profile.cells()) {
+    EXPECT_TRUE(spec.outline.contains(cell.center));
+  }
+}
+
+TEST(Region, IsDeterministicPerSeed) {
+  const RegionSpec spec = dense_compact_region();
+  const DemandProfile a = RegionGenerator(spec).generate();
+  const DemandProfile b = RegionGenerator(spec).generate();
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  for (std::size_t i = 0; i < a.cell_count(); ++i) {
+    EXPECT_EQ(a.cells()[i].cell, b.cells()[i].cell);
+    EXPECT_EQ(a.cells()[i].underserved, b.cells()[i].underserved);
+  }
+}
+
+TEST(Region, CountyWeightsSumToTotal) {
+  const DemandProfile profile =
+      RegionGenerator(sparse_expansive_region()).generate();
+  std::uint64_t sum = 0;
+  for (const auto& county : profile.counties().all()) {
+    sum += county.underserved_locations;
+  }
+  EXPECT_EQ(sum, profile.total_locations());
+}
+
+TEST(Region, IncomesFollowSpecRange) {
+  const RegionSpec spec = dense_compact_region();
+  const DemandProfile profile = RegionGenerator(spec).generate();
+  for (const auto& county : profile.counties().all()) {
+    EXPECT_GE(county.median_income_usd, spec.income_quantile(0.0) - 1.0);
+    EXPECT_LE(county.median_income_usd, spec.income_quantile(1.0) + 1.0);
+  }
+}
+
+TEST(Region, RejectsBadSpecs) {
+  RegionSpec zero = temperate_mixed_region();
+  zero.total_locations = 0;
+  EXPECT_THROW(RegionGenerator{zero}, std::invalid_argument);
+  RegionSpec bad_res = temperate_mixed_region();
+  bad_res.county_resolution = bad_res.resolution;
+  EXPECT_THROW(RegionGenerator{bad_res}, std::invalid_argument);
+}
+
+TEST(Region, TinyOutlineStillGenerates) {
+  RegionSpec spec = temperate_mixed_region();
+  spec.outline = geo::Polygon{std::vector<geo::GeoPoint>{
+      {45.0, 8.0}, {45.6, 8.0}, {45.6, 8.8}, {45.0, 8.8}}};
+  spec.total_locations = 5000;
+  const DemandProfile profile = RegionGenerator(spec).generate();
+  EXPECT_EQ(profile.total_locations(), 5000U);
+}
+
+}  // namespace
+}  // namespace leodivide::demand
+
+// Appended: diurnal activity model (demand/diurnal.hpp).
+#include "leodivide/demand/diurnal.hpp"
+
+namespace leodivide::demand {
+namespace {
+
+TEST(Diurnal, ResidentialCurveMatchesFccBenchmark) {
+  const DiurnalCurve curve = residential_evening_peak();
+  // Busy hour at 21:00 with 5% simultaneous activity -> 20:1.
+  EXPECT_EQ(curve.busy_hour(), 21U);
+  EXPECT_DOUBLE_EQ(curve.busy_hour_activity(), 0.05);
+  EXPECT_DOUBLE_EQ(curve.max_acceptable_oversubscription(), 20.0);
+}
+
+TEST(Diurnal, ActivityInterpolatesAndWraps) {
+  const DiurnalCurve curve = residential_evening_peak();
+  EXPECT_DOUBLE_EQ(curve.activity(21.0), 0.05);
+  // Halfway between hour 21 (0.050) and 22 (0.044).
+  EXPECT_NEAR(curve.activity(21.5), 0.047, 1e-12);
+  // Wraparound: 23:30 interpolates toward hour 0.
+  EXPECT_NEAR(curve.activity(23.5), (0.028 + 0.012) / 2.0, 1e-12);
+  EXPECT_NEAR(curve.activity(-0.5), curve.activity(23.5), 1e-12);
+  EXPECT_NEAR(curve.activity(45.0), curve.activity(21.0), 1e-12);
+}
+
+TEST(Diurnal, MeanBelowPeak) {
+  const DiurnalCurve curve = residential_evening_peak();
+  EXPECT_LT(curve.mean_activity(), curve.busy_hour_activity());
+  EXPECT_GT(curve.mean_activity(), 0.0);
+}
+
+TEST(Diurnal, PeakActivityBoundsEveryHour) {
+  const DiurnalCurve curve = residential_evening_peak();
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    EXPECT_LE(curve.activity(h), curve.busy_hour_activity() + 1e-12);
+  }
+}
+
+TEST(Diurnal, RejectsDegenerateCurves) {
+  std::array<double, 24> zeros{};
+  EXPECT_THROW(DiurnalCurve{zeros}, std::invalid_argument);
+  std::array<double, 24> bad{};
+  bad[3] = 1.5;
+  EXPECT_THROW(DiurnalCurve{bad}, std::invalid_argument);
+}
+
+TEST(Diurnal, FlatCurveGivesUniformOversub) {
+  std::array<double, 24> flat{};
+  flat.fill(0.1);
+  const DiurnalCurve curve(flat);
+  EXPECT_DOUBLE_EQ(curve.max_acceptable_oversubscription(), 10.0);
+  EXPECT_DOUBLE_EQ(curve.mean_activity(), 0.1);
+}
+
+}  // namespace
+}  // namespace leodivide::demand
+
+// Appended: GeoJSON export (demand/geojson.hpp).
+#include <sstream>
+
+#include "leodivide/demand/geojson.hpp"
+
+namespace leodivide::demand {
+namespace {
+
+TEST(GeoJson, EmitsOneFeaturePerCell) {
+  const SyntheticGenerator gen({.seed = 7, .scale = 0.002});
+  const DemandProfile profile = gen.generate_profile();
+  std::ostringstream out;
+  write_geojson(out, profile, hex::HexGrid());
+  const std::string s = out.str();
+  std::size_t features = 0;
+  for (std::size_t pos = 0;
+       (pos = s.find("\"Feature\"", pos)) != std::string::npos; ++pos) {
+    ++features;
+  }
+  EXPECT_EQ(features, profile.cell_count());
+  EXPECT_NE(s.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(s.find("\"underserved\""), std::string::npos);
+  EXPECT_NE(s.find("\"median_income_usd\""), std::string::npos);
+}
+
+TEST(GeoJson, MinLocationsFilters) {
+  const SyntheticGenerator gen({.seed = 7, .scale = 0.002});
+  const DemandProfile profile = gen.generate_profile();
+  std::ostringstream all_out, some_out;
+  write_geojson(all_out, profile, hex::HexGrid(), 0);
+  write_geojson(some_out, profile, hex::HexGrid(), 500);
+  EXPECT_GT(all_out.str().size(), some_out.str().size());
+}
+
+TEST(GeoJson, RingsAreClosedSevenVertexPolygons) {
+  // Hexagon boundary + closing vertex = 7 coordinate pairs per ring.
+  CountyTable counties;
+  counties.add({"90001", {39.0, -98.0}, 50000.0, 10});
+  std::vector<CellDemand> cells(1);
+  const hex::HexGrid grid;
+  cells[0].cell = grid.cell_of({39.0, -98.0}, 5);
+  cells[0].center = grid.center_of(cells[0].cell);
+  cells[0].underserved = 10;
+  const DemandProfile profile(std::move(cells), std::move(counties));
+  std::ostringstream out;
+  write_geojson(out, profile, grid);
+  const std::string s = out.str();
+  // Count coordinate pairs "[-9..." inside the single ring: 7 closing
+  // brackets pairs appear as "],[" separators -> 6 separators + ends.
+  std::size_t pairs = 0;
+  for (std::size_t pos = 0;
+       (pos = s.find("],[", pos)) != std::string::npos; ++pos) {
+    ++pairs;
+  }
+  EXPECT_EQ(pairs, 6U);
+}
+
+}  // namespace
+}  // namespace leodivide::demand
+
+// Appended: FCC BDC ingestion (demand/bdc.hpp).
+#include "leodivide/demand/bdc.hpp"
+
+namespace leodivide::demand {
+namespace {
+
+constexpr const char* kAvailabilityCsv =
+    "frn,provider_id,brand_name,location_id,technology,"
+    "max_advertised_download_speed,max_advertised_upload_speed,"
+    "low_latency,business_residential_code,state_usps\n"
+    "0001,100,AcmeFiber,1001,50,1000,1000,1,R,KS\n"
+    "0002,200,RuralDSL,1002,10,25,3,1,R,KS\n"
+    "0003,300,SkyGeo,1002,60,100,20,0,R,KS\n"       // GEO: not low latency
+    "0002,200,RuralDSL,1003,10,10,1,1,R,KS\n"
+    "0004,400,WispCo,1003,71,50,10,1,R,KS\n"         // better than the DSL
+    "0005,500,CableCo,1004,40,300,30,1,R,KS\n";
+
+constexpr const char* kFabricCsv =
+    "location_id,latitude,longitude,unit_count\n"
+    "1001,39.10,-98.10,1\n"
+    "1002,39.20,-98.20,1\n"
+    "1003,39.30,-98.30,1\n";  // 1004 deliberately missing
+
+TEST(Bdc, TechnologyCodeMapping) {
+  EXPECT_EQ(technology_from_bdc_code(10), Technology::kDsl);
+  EXPECT_EQ(technology_from_bdc_code(40), Technology::kCable);
+  EXPECT_EQ(technology_from_bdc_code(50), Technology::kFiber);
+  EXPECT_EQ(technology_from_bdc_code(60), Technology::kGeoSatellite);
+  EXPECT_EQ(technology_from_bdc_code(71), Technology::kFixedWireless);
+  EXPECT_EQ(technology_from_bdc_code(999), Technology::kNone);
+}
+
+TEST(Bdc, ParsesAvailabilityWithColumnDetection) {
+  std::istringstream in(kAvailabilityCsv);
+  const auto records = read_bdc_availability(in);
+  ASSERT_EQ(records.size(), 6U);
+  EXPECT_EQ(records[0].location_id, 1001U);
+  EXPECT_EQ(records[0].technology_code, 50);
+  EXPECT_DOUBLE_EQ(records[0].down_mbps, 1000.0);
+  EXPECT_FALSE(records[2].low_latency);
+  EXPECT_EQ(records[5].state, "KS");
+}
+
+TEST(Bdc, RejectsMissingColumns) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  EXPECT_THROW((void)read_bdc_availability(in), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW((void)read_bdc_availability(empty), std::runtime_error);
+}
+
+TEST(Bdc, FabricParsing) {
+  std::istringstream in(kFabricCsv);
+  const auto fabric = read_bdc_fabric(in);
+  ASSERT_EQ(fabric.size(), 3U);
+  EXPECT_NEAR(fabric.at(1002).lat_deg, 39.2, 1e-9);
+  EXPECT_NEAR(fabric.at(1002).lon_deg, -98.2, 1e-9);
+}
+
+TEST(Bdc, BuildDatasetReducesToBestOffer) {
+  std::istringstream avail(kAvailabilityCsv);
+  std::istringstream fab(kFabricCsv);
+  const auto records = read_bdc_availability(avail);
+  const auto fabric = read_bdc_fabric(fab);
+  std::size_t dropped = 0;
+  const DemandDataset data = build_dataset(
+      records, fabric, County{"20001", {39.2, -98.2}, 55000.0, 0}, &dropped);
+  // 1004 has no fabric entry.
+  EXPECT_EQ(dropped, 1U);
+  ASSERT_EQ(data.size(), 3U);
+  // 1001: fiber gigabit -> served.
+  EXPECT_FALSE(data.locations()[0].underserved());
+  EXPECT_EQ(data.locations()[0].technology, Technology::kFiber);
+  // 1002: best low-latency offer is 25/3 DSL (the GEO 100/20 offer does
+  // not count) -> underserved.
+  EXPECT_TRUE(data.locations()[1].underserved());
+  EXPECT_EQ(data.locations()[1].technology, Technology::kDsl);
+  EXPECT_DOUBLE_EQ(data.locations()[1].best_offer.down_mbps, 25.0);
+  // 1003: fixed wireless 50/10 beats DSL 10/1 -> still underserved.
+  EXPECT_TRUE(data.locations()[2].underserved());
+  EXPECT_EQ(data.locations()[2].technology, Technology::kFixedWireless);
+  // County rollup counts the two underserved locations.
+  EXPECT_EQ(data.counties().at(0).underserved_locations, 2U);
+}
+
+TEST(Bdc, DatasetFeedsAggregationPipeline) {
+  std::istringstream avail(kAvailabilityCsv);
+  std::istringstream fab(kFabricCsv);
+  const DemandDataset data =
+      build_dataset(read_bdc_availability(avail), read_bdc_fabric(fab),
+                    County{"20001", {39.2, -98.2}, 55000.0, 0});
+  const DemandProfile profile = aggregate(data, hex::HexGrid(), 5);
+  EXPECT_EQ(profile.total_locations(), 2U);  // the two underserved
+}
+
+}  // namespace
+}  // namespace leodivide::demand
+
+// Appended: generator scale/seed property sweeps.
+namespace leodivide::demand {
+namespace {
+
+class GeneratorScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneratorScaleSweep, TotalsExactAndCellsInRegion) {
+  const double scale = GetParam();
+  const SyntheticGenerator gen({.seed = 99, .scale = scale});
+  const DemandProfile profile = gen.generate_profile();
+  const auto target = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(paper::kTotalLocations) * scale));
+  EXPECT_EQ(profile.total_locations(), target);
+  EXPECT_GT(profile.cell_count(), 0U);
+  for (const auto& cell : profile.cells()) {
+    EXPECT_GE(cell.underserved, 1U);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GeneratorScaleSweep,
+                         ::testing::Values(0.001, 0.005, 0.02, 0.1, 0.5));
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, DistributionInvariantsHoldAcrossSeeds) {
+  const SyntheticGenerator gen({.seed = GetParam(), .scale = 0.05});
+  const DemandProfile profile = gen.generate_profile();
+  // Per-cell counts never exceed the generated-cell ceiling at this scale
+  // (planting is suppressed below 2x the planted mass at 0.05 they fit).
+  const auto counts = profile.counts_as_doubles();
+  EXPECT_EQ(profile.total_locations(),
+            static_cast<std::uint64_t>(std::llround(
+                0.05 * static_cast<double>(paper::kTotalLocations))));
+  // County weights are consistent.
+  std::uint64_t by_county = 0;
+  for (const auto& c : profile.counties().all()) {
+    by_county += c.underserved_locations;
+  }
+  EXPECT_EQ(by_county, profile.total_locations());
+  EXPECT_FALSE(counts.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace leodivide::demand

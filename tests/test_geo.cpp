@@ -1,0 +1,346 @@
+// Unit and property tests for leodivide::geo.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "leodivide/geo/angle.hpp"
+#include "leodivide/geo/bbox.hpp"
+#include "leodivide/geo/ecef.hpp"
+#include "leodivide/geo/geopoint.hpp"
+#include "leodivide/geo/greatcircle.hpp"
+#include "leodivide/geo/polygon.hpp"
+#include "leodivide/geo/projection.hpp"
+#include "leodivide/geo/us_outline.hpp"
+
+namespace leodivide::geo {
+namespace {
+
+// ------------------------------------------------------------------ angle ----
+
+TEST(Angle, Deg2RadRoundTrip) {
+  for (double d : {-180.0, -90.0, 0.0, 45.0, 180.0, 359.0}) {
+    EXPECT_NEAR(rad2deg(deg2rad(d)), d, 1e-12);
+  }
+}
+
+TEST(Angle, WrapTwoPiRange) {
+  for (double r : {-10.0, -kPi, 0.0, kPi, 10.0, 100.0}) {
+    const double w = wrap_two_pi(r);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, kTwoPi);
+    EXPECT_NEAR(std::sin(w), std::sin(r), 1e-9);
+  }
+}
+
+TEST(Angle, WrapPiRange) {
+  for (double r : {-10.0, -kPi, 0.0, kPi, 10.0}) {
+    const double w = wrap_pi(r);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    EXPECT_NEAR(std::cos(w), std::cos(r), 1e-9);
+  }
+}
+
+TEST(Angle, WrapLongitude) {
+  EXPECT_DOUBLE_EQ(wrap_longitude_deg(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude_deg(-181.0), 179.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude_deg(180.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_longitude_deg(540.0), 180.0);
+}
+
+TEST(Angle, ClampLatitude) {
+  EXPECT_DOUBLE_EQ(clamp_latitude_deg(95.0), 90.0);
+  EXPECT_DOUBLE_EQ(clamp_latitude_deg(-95.0), -90.0);
+  EXPECT_DOUBLE_EQ(clamp_latitude_deg(45.0), 45.0);
+}
+
+// --------------------------------------------------------------- geopoint ----
+
+TEST(GeoPointTest, NormalizedCanonicalizes) {
+  const GeoPoint p = GeoPoint{95.0, 190.0}.normalized();
+  EXPECT_DOUBLE_EQ(p.lat_deg, 90.0);
+  EXPECT_DOUBLE_EQ(p.lon_deg, -170.0);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(GeoPointTest, ApproxEqualHandlesLongitudeWrap) {
+  EXPECT_TRUE(approx_equal({10.0, 180.0}, {10.0, -180.0}, 1e-6));
+  EXPECT_FALSE(approx_equal({10.0, 0.0}, {10.0, 1.0}, 1e-6));
+}
+
+// ------------------------------------------------------------------- ecef ----
+
+TEST(Vec3Test, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ((a + b), (Vec3{5, 7, 9}));
+  EXPECT_EQ((b - a), (Vec3{3, 3, 3}));
+  EXPECT_EQ((2.0 * a), (Vec3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_EQ(a.cross(b), (Vec3{-3, 6, -3}));
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+}
+
+TEST(Vec3Test, UnitVectorThrowsOnZero) {
+  EXPECT_THROW((Vec3{0, 0, 0}).unit(), std::domain_error);
+  const Vec3 u = Vec3{0, 0, 9}.unit();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+}
+
+TEST(Ecef, EquatorPrimeMeridian) {
+  const Vec3 v = geodetic_to_ecef({0.0, 0.0});
+  EXPECT_NEAR(v.x, kWgs84AKm, 1e-6);
+  EXPECT_NEAR(v.y, 0.0, 1e-9);
+  EXPECT_NEAR(v.z, 0.0, 1e-9);
+}
+
+TEST(Ecef, RoundTripSurfacePoints) {
+  for (const GeoPoint p : {GeoPoint{0.0, 0.0}, GeoPoint{39.5, -98.35},
+                           GeoPoint{-33.9, 151.2}, GeoPoint{71.0, -156.8}}) {
+    double alt = 0.0;
+    const GeoPoint back = ecef_to_geodetic(geodetic_to_ecef(p, 0.3), &alt);
+    EXPECT_TRUE(approx_equal(p, back, 1e-7)) << p << " vs " << back;
+    EXPECT_NEAR(alt, 0.3, 1e-5);
+  }
+}
+
+TEST(Ecef, SphericalRoundTrip) {
+  for (const GeoPoint p : {GeoPoint{12.0, 34.0}, GeoPoint{-45.0, -120.0}}) {
+    const GeoPoint back =
+        cartesian_to_spherical(spherical_to_cartesian(p, kEarthRadiusKm));
+    EXPECT_TRUE(approx_equal(p, back, 1e-9));
+  }
+}
+
+TEST(Ecef, SphericalZeroVectorThrows) {
+  EXPECT_THROW(cartesian_to_spherical({0, 0, 0}), std::domain_error);
+}
+
+// ------------------------------------------------------------ greatcircle ----
+
+TEST(GreatCircle, KnownDistanceSfoToJfk) {
+  // SFO (37.6188, -122.3756) to JFK (40.6413, -73.7781): ~4150 km.
+  const double d =
+      distance_km({37.6188, -122.3756}, {40.6413, -73.7781});
+  EXPECT_NEAR(d, 4150.0, 25.0);
+}
+
+TEST(GreatCircle, DistanceIsSymmetricAndZeroOnSelf) {
+  const GeoPoint a{10.0, 20.0}, b{-30.0, 140.0};
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+  EXPECT_DOUBLE_EQ(distance_km(a, a), 0.0);
+}
+
+TEST(GreatCircle, AntipodalDistanceIsHalfCircumference) {
+  const double d = distance_km({0.0, 0.0}, {0.0, 180.0});
+  EXPECT_NEAR(d, kPi * kEarthRadiusKm, 1e-6);
+}
+
+TEST(GreatCircle, BearingCardinalDirections) {
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {10, 0}), 0.0, 1e-9);    // north
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {0, 10}), 90.0, 1e-9);   // east
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {-10, 0}), 180.0, 1e-9); // south
+  EXPECT_NEAR(initial_bearing_deg({0, 0}, {0, -10}), 270.0, 1e-9); // west
+}
+
+TEST(GreatCircle, DestinationInvertsDistanceAndBearing) {
+  const GeoPoint start{42.0, -93.0};
+  for (double bearing : {0.0, 77.0, 160.0, 255.0}) {
+    const GeoPoint end = destination(start, bearing, 500.0);
+    EXPECT_NEAR(distance_km(start, end), 500.0, 1e-6);
+    EXPECT_NEAR(initial_bearing_deg(start, end), bearing, 1e-6);
+  }
+}
+
+TEST(GreatCircle, InterpolateEndpointsAndMidpoint) {
+  const GeoPoint a{0.0, 0.0}, b{0.0, 90.0};
+  EXPECT_TRUE(approx_equal(interpolate(a, b, 0.0), a, 1e-9));
+  EXPECT_TRUE(approx_equal(interpolate(a, b, 1.0), b, 1e-9));
+  EXPECT_TRUE(approx_equal(interpolate(a, b, 0.5), {0.0, 45.0}, 1e-9));
+}
+
+TEST(GreatCircle, InterpolateRejectsOutOfRangeT) {
+  EXPECT_THROW(interpolate({0, 0}, {1, 1}, -0.1), std::invalid_argument);
+  EXPECT_THROW(interpolate({0, 0}, {1, 1}, 1.1), std::invalid_argument);
+}
+
+TEST(GreatCircle, CapAreaLimits) {
+  EXPECT_DOUBLE_EQ(spherical_cap_area_km2(0.0), 0.0);
+  EXPECT_NEAR(spherical_cap_area_km2(kPi), kEarthSurfaceAreaKm2, 1.0);
+  EXPECT_NEAR(spherical_cap_area_km2(kPi / 2.0), kEarthSurfaceAreaKm2 / 2.0,
+              1.0);
+}
+
+TEST(GreatCircle, LatitudeBandFractions) {
+  EXPECT_NEAR(latitude_band_fraction(-90.0, 90.0), 1.0, 1e-12);
+  EXPECT_NEAR(latitude_band_fraction(0.0, 90.0), 0.5, 1e-12);
+  EXPECT_NEAR(latitude_band_fraction(-30.0, 30.0), 0.5, 1e-12);
+  EXPECT_THROW(latitude_band_fraction(10.0, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- bbox ----
+
+TEST(BBox, ContainsAndCenter) {
+  const BoundingBox b{10.0, 20.0, -50.0, -40.0};
+  EXPECT_TRUE(b.contains({15.0, -45.0}));
+  EXPECT_FALSE(b.contains({25.0, -45.0}));
+  EXPECT_FALSE(b.contains({15.0, -55.0}));
+  EXPECT_TRUE(approx_equal(b.center(), {15.0, -45.0}));
+}
+
+TEST(BBox, ExtendGrowsFromEmpty) {
+  BoundingBox b = BoundingBox::empty();
+  EXPECT_FALSE(b.valid());
+  b.extend({10.0, 20.0});
+  EXPECT_TRUE(b.valid());
+  EXPECT_TRUE(b.contains({10.0, 20.0}));
+  b.extend({-5.0, 30.0});
+  EXPECT_TRUE(b.contains({0.0, 25.0}));
+}
+
+TEST(BBox, AreaOfFullLongitudeBand) {
+  const BoundingBox b{-90.0, 90.0, -180.0, 180.0};
+  EXPECT_NEAR(b.area_km2(), kEarthSurfaceAreaKm2, 1.0);
+}
+
+TEST(BBox, Intersections) {
+  const BoundingBox a{0.0, 10.0, 0.0, 10.0};
+  const BoundingBox b{5.0, 15.0, 5.0, 15.0};
+  const BoundingBox c{20.0, 30.0, 20.0, 30.0};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(BBox, ConusContainsLandmarks) {
+  const BoundingBox b = conus_bbox();
+  EXPECT_TRUE(b.contains({39.74, -104.99}));  // Denver
+  EXPECT_TRUE(b.contains({25.76, -80.19}));   // Miami
+  EXPECT_FALSE(b.contains({61.2, -149.9}));   // Anchorage
+}
+
+// ---------------------------------------------------------------- polygon ----
+
+TEST(PolygonTest, SquareContainment) {
+  const Polygon square({{0, 0}, {0, 10}, {10, 10}, {10, 0}});
+  EXPECT_TRUE(square.contains({5.0, 5.0}));
+  EXPECT_FALSE(square.contains({15.0, 5.0}));
+  EXPECT_FALSE(square.contains({-1.0, 5.0}));
+}
+
+TEST(PolygonTest, ConcavePolygon) {
+  // A "U" shape: the notch is outside.
+  const Polygon u({{0, 0}, {0, 10}, {4, 10}, {4, 4}, {6, 4}, {6, 10},
+                   {10, 10}, {10, 0}});
+  EXPECT_TRUE(u.contains({2.0, 2.0}));
+  EXPECT_TRUE(u.contains({5.0, 2.0}));
+  EXPECT_FALSE(u.contains({5.0, 8.0}));  // inside the notch
+}
+
+TEST(PolygonTest, RejectsDegenerate) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(PolygonTest, AreaOfOneDegreeSquareAtEquator) {
+  const Polygon square({{-0.5, -0.5}, {-0.5, 0.5}, {0.5, 0.5}, {0.5, -0.5}});
+  const double km_per_deg = kTwoPi * kEarthRadiusKm / 360.0;
+  EXPECT_NEAR(square.area_km2(), km_per_deg * km_per_deg, 25.0);
+}
+
+TEST(UsOutline, ContainsInteriorCities) {
+  const Polygon& us = conus_outline();
+  EXPECT_TRUE(us.contains({39.74, -104.99}));  // Denver
+  EXPECT_TRUE(us.contains({35.15, -90.05}));   // Memphis
+  EXPECT_TRUE(us.contains({44.98, -93.27}));   // Minneapolis
+  EXPECT_TRUE(us.contains({33.45, -112.07}));  // Phoenix
+  EXPECT_TRUE(us.contains({30.27, -97.74}));   // Austin
+}
+
+TEST(UsOutline, ExcludesExteriorPoints) {
+  const Polygon& us = conus_outline();
+  EXPECT_FALSE(us.contains({45.42, -75.7}));   // Ottawa
+  EXPECT_FALSE(us.contains({19.43, -99.13}));  // Mexico City
+  EXPECT_FALSE(us.contains({25.0, -90.0}));    // Gulf of Mexico
+  EXPECT_FALSE(us.contains({40.0, -70.0}));    // Atlantic
+}
+
+TEST(UsOutline, AreaIsContinentalScale) {
+  // CONUS is ~8.1M km^2; the coarse outline should land within 15%.
+  EXPECT_NEAR(conus_area_km2(), 8.1e6, 1.3e6);
+}
+
+// ------------------------------------------------------------- projection ----
+
+TEST(AzimuthalEquidistantTest, CenterMapsToOrigin) {
+  const AzimuthalEquidistant proj({39.5, -98.35});
+  const PlanePoint o = proj.forward({39.5, -98.35});
+  EXPECT_NEAR(o.x, 0.0, 1e-9);
+  EXPECT_NEAR(o.y, 0.0, 1e-9);
+}
+
+TEST(AzimuthalEquidistantTest, RadialDistanceIsExact) {
+  const AzimuthalEquidistant proj({39.5, -98.35});
+  for (const GeoPoint p : {GeoPoint{40.0, -98.35}, GeoPoint{39.5, -90.0},
+                           GeoPoint{30.0, -110.0}, GeoPoint{48.0, -70.0}}) {
+    const PlanePoint q = proj.forward(p);
+    EXPECT_NEAR(std::hypot(q.x, q.y), distance_km({39.5, -98.35}, p), 1e-6);
+  }
+}
+
+TEST(AzimuthalEquidistantTest, RoundTripAcrossConus) {
+  const AzimuthalEquidistant proj({39.5, -98.35});
+  for (const GeoPoint p : {GeoPoint{25.8, -80.2}, GeoPoint{47.6, -122.3},
+                           GeoPoint{29.8, -95.4}, GeoPoint{44.9, -68.7}}) {
+    const GeoPoint back = proj.inverse(proj.forward(p));
+    EXPECT_TRUE(approx_equal(p, back, 1e-8)) << p << " vs " << back;
+  }
+}
+
+TEST(EquirectangularTest, RoundTrip) {
+  const Equirectangular proj(39.0);
+  for (const GeoPoint p : {GeoPoint{39.0, -98.0}, GeoPoint{10.0, 20.0}}) {
+    const GeoPoint back = proj.inverse(proj.forward(p));
+    EXPECT_TRUE(approx_equal(p, back, 1e-9));
+  }
+}
+
+// ---------------------------------------------------- parameterized sweep ----
+
+struct RoundTripCase {
+  double lat;
+  double lon;
+};
+
+class ProjectionRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ProjectionRoundTrip, ForwardInverseIdentity) {
+  const auto [lat, lon] = GetParam();
+  const AzimuthalEquidistant proj({39.5, -98.35});
+  const GeoPoint p{lat, lon};
+  EXPECT_TRUE(approx_equal(p, proj.inverse(proj.forward(p)), 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConusGrid, ProjectionRoundTrip,
+    ::testing::Values(RoundTripCase{25.0, -120.0}, RoundTripCase{25.0, -80.0},
+                      RoundTripCase{49.0, -120.0}, RoundTripCase{49.0, -70.0},
+                      RoundTripCase{37.0, -98.0}, RoundTripCase{30.0, -85.0},
+                      RoundTripCase{45.0, -110.0}, RoundTripCase{33.0, -95.0}));
+
+class DestinationRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DestinationRoundTrip, ReturnTripComesHome) {
+  const double bearing = GetParam();
+  const GeoPoint start{36.4, -89.7};
+  const GeoPoint out = destination(start, bearing, 750.0);
+  const double back_bearing = initial_bearing_deg(out, start);
+  const GeoPoint home = destination(out, back_bearing, 750.0);
+  EXPECT_LT(distance_km(home, start), 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bearings, DestinationRoundTrip,
+                         ::testing::Values(0.0, 30.0, 60.0, 90.0, 135.0,
+                                           180.0, 225.0, 300.0, 359.0));
+
+}  // namespace
+}  // namespace leodivide::geo

@@ -1,0 +1,488 @@
+// Unit and property tests for leodivide::hex (the H3-style spatial index).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+
+#include "leodivide/geo/greatcircle.hpp"
+#include "leodivide/geo/us_outline.hpp"
+#include "leodivide/hex/cellid.hpp"
+#include "leodivide/hex/hexcoord.hpp"
+#include "leodivide/hex/hexgrid.hpp"
+#include "leodivide/hex/polyfill.hpp"
+#include "leodivide/hex/traversal.hpp"
+
+namespace leodivide::hex {
+namespace {
+
+// --------------------------------------------------------------- hexcoord ----
+
+TEST(HexCoordTest, CubeInvariant) {
+  const HexCoord h{3, -5};
+  EXPECT_EQ(h.q + h.r + h.s(), 0);
+}
+
+TEST(HexCoordTest, DirectionsSumToZero) {
+  HexCoord sum{0, 0};
+  for (const auto& d : hex_directions()) sum = sum + d;
+  EXPECT_EQ(sum, (HexCoord{0, 0}));
+}
+
+TEST(HexCoordTest, DirectionsAreUnitDistance) {
+  for (const auto& d : hex_directions()) {
+    EXPECT_EQ(hex_distance({0, 0}, d), 1);
+  }
+}
+
+TEST(HexCoordTest, DistanceProperties) {
+  const HexCoord a{0, 0}, b{3, -1}, c{-2, 5};
+  EXPECT_EQ(hex_distance(a, a), 0);
+  EXPECT_EQ(hex_distance(a, b), hex_distance(b, a));
+  // Triangle inequality.
+  EXPECT_LE(hex_distance(a, c),
+            hex_distance(a, b) + hex_distance(b, c));
+}
+
+TEST(HexCoordTest, RoundingIsIdempotentOnIntegers) {
+  for (int q = -3; q <= 3; ++q) {
+    for (int r = -3; r <= 3; ++r) {
+      const HexCoord h{q, r};
+      EXPECT_EQ(hex_round({static_cast<double>(q), static_cast<double>(r)}),
+                h);
+    }
+  }
+}
+
+TEST(HexCoordTest, LerpEndpoints) {
+  const HexCoord a{1, 2}, b{-4, 7};
+  EXPECT_EQ(hex_round(hex_lerp(a, b, 0.0)), a);
+  EXPECT_EQ(hex_round(hex_lerp(a, b, 1.0)), b);
+}
+
+// ----------------------------------------------------------------- cellid ----
+
+TEST(CellIdTest, PackUnpackRoundTrip) {
+  for (int res : {0, 5, 15}) {
+    for (const HexCoord h : {HexCoord{0, 0}, HexCoord{123, -456},
+                             HexCoord{-100000, 99999}}) {
+      const CellId id(res, h);
+      EXPECT_EQ(id.resolution(), res);
+      EXPECT_EQ(id.coord(), h);
+    }
+  }
+}
+
+TEST(CellIdTest, BitsRoundTrip) {
+  const CellId id(5, {42, -17});
+  EXPECT_EQ(CellId::from_bits(id.bits()), id);
+}
+
+TEST(CellIdTest, InvalidIsDistinct) {
+  const CellId invalid = CellId::invalid();
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_EQ(invalid.resolution(), -1);
+  EXPECT_NE(invalid, CellId(0, {0, 0}));
+}
+
+TEST(CellIdTest, RejectsOutOfRange) {
+  EXPECT_THROW(CellId(16, {0, 0}), std::out_of_range);
+  EXPECT_THROW(CellId(-1, {0, 0}), std::out_of_range);
+  EXPECT_THROW(CellId(5, {1 << 29, 0}), std::out_of_range);
+}
+
+TEST(CellIdTest, FromBitsPreservesInvalid) {
+  EXPECT_FALSE(CellId::from_bits(CellId::invalid().bits()).valid());
+}
+
+TEST(CellIdTest, HashSpreads) {
+  std::unordered_set<std::size_t> hashes;
+  std::hash<CellId> hasher;
+  for (int q = 0; q < 50; ++q) {
+    for (int r = 0; r < 50; ++r) hashes.insert(hasher(CellId(5, {q, r})));
+  }
+  EXPECT_EQ(hashes.size(), 2500U);  // no collisions on a small grid
+}
+
+TEST(CellIdTest, OrderingIsTotal) {
+  const CellId a(5, {0, 0}), b(5, {0, 1});
+  EXPECT_TRUE(a < b || b < a);
+}
+
+// ---------------------------------------------------------------- hexgrid ----
+
+TEST(HexGridTest, ResolutionLadderAreas) {
+  // Aperture 4: each resolution quarters the area.
+  for (int res = 1; res <= 15; ++res) {
+    EXPECT_NEAR(cell_area_km2(res - 1) / cell_area_km2(res), 4.0, 1e-9);
+  }
+}
+
+TEST(HexGridTest, Res5AreaMatchesH3) {
+  EXPECT_NEAR(cell_area_km2(5), kH3Res5AreaKm2, 1e-6);
+}
+
+TEST(HexGridTest, GlobalCellCountRes5) {
+  // ~2.0M cells of ~252.9 km^2 tile the Earth.
+  EXPECT_NEAR(global_cell_count(5), 2.017e6, 0.01e6);
+}
+
+TEST(HexGridTest, RejectsBadResolution) {
+  EXPECT_THROW(edge_length_km(-1), std::out_of_range);
+  EXPECT_THROW(edge_length_km(16), std::out_of_range);
+}
+
+TEST(HexGridTest, CellOfCenterRoundTrip) {
+  const HexGrid grid;
+  for (const geo::GeoPoint p :
+       {geo::GeoPoint{39.5, -98.35}, geo::GeoPoint{36.4, -89.7},
+        geo::GeoPoint{45.0, -110.0}, geo::GeoPoint{30.0, -85.0}}) {
+    const CellId id = grid.cell_of(p, 5);
+    const geo::GeoPoint center = grid.center_of(id);
+    EXPECT_EQ(grid.cell_of(center, 5), id);
+  }
+}
+
+TEST(HexGridTest, PointIsNearItsCellCenter) {
+  const HexGrid grid;
+  const geo::GeoPoint p{41.3, -105.6};
+  const CellId id = grid.cell_of(p, 5);
+  // A point is within the circumradius (= edge length) of its cell center.
+  EXPECT_LE(geo::distance_km(p, grid.center_of(id)),
+            edge_length_km(5) * 1.001);
+}
+
+TEST(HexGridTest, DistinctPointsFarApartGetDistinctCells) {
+  const HexGrid grid;
+  EXPECT_NE(grid.cell_of({39.0, -98.0}, 5), grid.cell_of({40.0, -98.0}, 5));
+}
+
+TEST(HexGridTest, BoundaryHasSixVerticesAroundCenter) {
+  const HexGrid grid;
+  const CellId id = grid.cell_of({36.4, -89.7}, 5);
+  const auto boundary = grid.boundary_of(id);
+  const geo::GeoPoint center = grid.center_of(id);
+  for (const auto& v : boundary) {
+    EXPECT_NEAR(geo::distance_km(center, v), edge_length_km(5), 0.05);
+  }
+}
+
+TEST(HexGridTest, ParentContainsChildCenter) {
+  const HexGrid grid;
+  const CellId child = grid.cell_of({38.0, -100.0}, 6);
+  const CellId parent = grid.parent_of(child, 5);
+  EXPECT_EQ(grid.cell_of(grid.center_of(child), 5), parent);
+  EXPECT_EQ(parent.resolution(), 5);
+}
+
+TEST(HexGridTest, ParentRejectsFinerTarget) {
+  const HexGrid grid;
+  const CellId id = grid.cell_of({38.0, -100.0}, 5);
+  EXPECT_THROW(grid.parent_of(id, 5), std::invalid_argument);
+  EXPECT_THROW(grid.parent_of(id, 7), std::invalid_argument);
+}
+
+TEST(HexGridTest, ChildrenRoundTripToParent) {
+  const HexGrid grid;
+  const CellId parent = grid.cell_of({38.0, -100.0}, 4);
+  const auto children = grid.children_of(parent, 5);
+  EXPECT_GE(children.size(), 3U);  // aperture-4: ~4 children
+  EXPECT_LE(children.size(), 5U);
+  for (const CellId c : children) {
+    EXPECT_EQ(grid.parent_of(c, 4), parent);
+  }
+}
+
+TEST(HexGridTest, ChildrenPartitionApproximatesArea) {
+  const HexGrid grid;
+  const CellId parent = grid.cell_of({40.0, -95.0}, 3);
+  const auto children = grid.children_of(parent, 5);
+  // 2 levels of aperture 4 -> ~16 children.
+  EXPECT_GE(children.size(), 13U);
+  EXPECT_LE(children.size(), 19U);
+}
+
+// -------------------------------------------------------------- traversal ----
+
+TEST(Traversal, SixNeighborsAtDistanceOne) {
+  const CellId id(5, {10, -4});
+  const auto n = neighbors(id);
+  ASSERT_EQ(n.size(), 6U);
+  std::set<CellId> unique(n.begin(), n.end());
+  EXPECT_EQ(unique.size(), 6U);
+  for (const CellId x : n) EXPECT_EQ(grid_distance(id, x), 1);
+}
+
+TEST(Traversal, RingSizes) {
+  const CellId id(5, {0, 0});
+  EXPECT_EQ(ring(id, 0).size(), 1U);
+  EXPECT_EQ(ring(id, 1).size(), 6U);
+  EXPECT_EQ(ring(id, 2).size(), 12U);
+  EXPECT_EQ(ring(id, 5).size(), 30U);
+}
+
+TEST(Traversal, RingCellsAtExactDistance) {
+  const CellId id(5, {3, 3});
+  for (int k = 1; k <= 4; ++k) {
+    for (const CellId x : ring(id, k)) {
+      EXPECT_EQ(grid_distance(id, x), k);
+    }
+  }
+}
+
+TEST(Traversal, DiskSizeFormula) {
+  const CellId id(5, {-2, 7});
+  for (int k = 0; k <= 5; ++k) {
+    EXPECT_EQ(disk(id, k).size(),
+              static_cast<std::size_t>(1 + 3 * k * (k + 1)));
+  }
+}
+
+TEST(Traversal, DiskEqualsUnionOfRings) {
+  const CellId id(5, {1, 1});
+  const int k = 3;
+  std::set<CellId> from_rings;
+  for (int i = 0; i <= k; ++i) {
+    for (const CellId x : ring(id, i)) from_rings.insert(x);
+  }
+  const auto d = disk(id, k);
+  const std::set<CellId> from_disk(d.begin(), d.end());
+  EXPECT_EQ(from_rings, from_disk);
+}
+
+TEST(Traversal, LineConnectsEndpoints) {
+  const CellId a(5, {0, 0}), b(5, {7, -3});
+  const auto l = line(a, b);
+  ASSERT_GE(l.size(), 2U);
+  EXPECT_EQ(l.front(), a);
+  EXPECT_EQ(l.back(), b);
+  EXPECT_EQ(l.size(), static_cast<std::size_t>(grid_distance(a, b)) + 1);
+  // Consecutive line cells are adjacent.
+  for (std::size_t i = 1; i < l.size(); ++i) {
+    EXPECT_EQ(grid_distance(l[i - 1], l[i]), 1);
+  }
+}
+
+TEST(Traversal, GridDistanceRejectsMixedResolutions) {
+  EXPECT_THROW(grid_distance(CellId(5, {0, 0}), CellId(6, {0, 0})),
+               std::invalid_argument);
+}
+
+TEST(Traversal, RejectsInvalidInputs) {
+  EXPECT_THROW(neighbors(CellId::invalid()), std::invalid_argument);
+  EXPECT_THROW(ring(CellId(5, {0, 0}), -1), std::invalid_argument);
+  EXPECT_THROW(disk(CellId(5, {0, 0}), -1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- polyfill ----
+
+TEST(Polyfill, BoxFillCountMatchesArea) {
+  const HexGrid grid;
+  const geo::BoundingBox box{38.0, 40.0, -100.0, -97.0};
+  const auto cells = polyfill(grid, box, 5);
+  const double expected = box.area_km2() / cell_area_km2(5);
+  EXPECT_NEAR(static_cast<double>(cells.size()), expected, expected * 0.05);
+  for (const CellId id : cells) {
+    EXPECT_TRUE(box.contains(grid.center_of(id)));
+  }
+}
+
+TEST(Polyfill, CellsAreUnique) {
+  const HexGrid grid;
+  const auto cells = polyfill(grid, geo::BoundingBox{39.0, 40.0, -99.0, -98.0},
+                              5);
+  const std::set<CellId> unique(cells.begin(), cells.end());
+  EXPECT_EQ(unique.size(), cells.size());
+}
+
+TEST(Polyfill, FinerResolutionYieldsMoreCells) {
+  const HexGrid grid;
+  const geo::BoundingBox box{39.0, 40.0, -99.0, -98.0};
+  const auto coarse = polyfill(grid, box, 4);
+  const auto fine = polyfill(grid, box, 5);
+  EXPECT_GT(fine.size(), coarse.size() * 3);
+  EXPECT_LT(fine.size(), coarse.size() * 5);
+}
+
+TEST(Polyfill, ConusFillIsContinentScale) {
+  const HexGrid grid;
+  const auto cells = polyfill(grid, geo::conus_outline(), 5);
+  const double expected = geo::conus_area_km2() / cell_area_km2(5);
+  EXPECT_NEAR(static_cast<double>(cells.size()), expected, expected * 0.03);
+}
+
+TEST(Polyfill, PolygonFillRespectsBoundary) {
+  const HexGrid grid;
+  const geo::Polygon triangle(
+      {{38.0, -100.0}, {40.0, -100.0}, {39.0, -97.0}});
+  const auto cells = polyfill(grid, triangle, 5);
+  EXPECT_GT(cells.size(), 10U);
+  for (const CellId id : cells) {
+    EXPECT_TRUE(triangle.contains(grid.center_of(id)));
+  }
+}
+
+// ----------------------------------------------- parameterized round trips ----
+
+class CellRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(CellRoundTrip, CenterMapsBackToSameCell) {
+  const auto [lat, lon, res] = GetParam();
+  const HexGrid grid;
+  const CellId id = grid.cell_of({lat, lon}, res);
+  EXPECT_EQ(grid.cell_of(grid.center_of(id), res), id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConusSweep, CellRoundTrip,
+    ::testing::Combine(::testing::Values(26.0, 33.0, 39.5, 45.0, 48.5),
+                       ::testing::Values(-120.0, -105.0, -98.35, -85.0, -70.0),
+                       ::testing::Values(3, 5, 7)));
+
+class NeighborSymmetry : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeighborSymmetry, NeighborOfNeighborIncludesSelf) {
+  const int i = GetParam();
+  const CellId id(5, {i * 3 - 7, 11 - i * 2});
+  for (const CellId n : neighbors(id)) {
+    const auto back = neighbors(n);
+    EXPECT_NE(std::find(back.begin(), back.end(), id), back.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, NeighborSymmetry, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace leodivide::hex
+
+// Appended: multi-resolution compaction (hex/compact.hpp).
+#include "leodivide/hex/compact.hpp"
+
+namespace leodivide::hex {
+namespace {
+
+TEST(Compact, CompleteSiblingGroupBecomesParent) {
+  const HexGrid grid;
+  const CellId parent = grid.cell_of({39.0, -98.0}, 4);
+  const auto children = grid.children_of(parent, 5);
+  const auto compacted = compact(grid, children, 0);
+  // All children present -> replaced by (at least) the parent.
+  EXPECT_LT(compacted.size(), children.size());
+  EXPECT_NE(std::find(compacted.begin(), compacted.end(), parent),
+            compacted.end());
+}
+
+TEST(Compact, IncompleteGroupPassesThrough) {
+  const HexGrid grid;
+  const CellId parent = grid.cell_of({39.0, -98.0}, 4);
+  auto children = grid.children_of(parent, 5);
+  ASSERT_GE(children.size(), 2U);
+  children.pop_back();  // remove one sibling
+  const auto compacted = compact(grid, children, 0);
+  EXPECT_EQ(compacted.size(), children.size());
+  for (const CellId c : compacted) EXPECT_EQ(c.resolution(), 5);
+}
+
+TEST(Compact, UncompactInvertsCompact) {
+  const HexGrid grid;
+  const auto cells =
+      polyfill(grid, geo::BoundingBox{38.0, 39.5, -100.0, -98.0}, 5);
+  const auto compacted = compact(grid, cells, 0);
+  EXPECT_LT(compacted.size(), cells.size());
+  auto expanded = uncompact(grid, compacted, 5);
+  std::vector<CellId> original = cells;
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(expanded, original);
+}
+
+TEST(Compact, DeduplicatesInput) {
+  const HexGrid grid;
+  const CellId c = grid.cell_of({40.0, -100.0}, 5);
+  const auto compacted = compact(grid, {c, c, c}, 0);
+  EXPECT_EQ(compacted.size(), 1U);
+}
+
+TEST(Compact, EmptyInputYieldsEmptyOutput) {
+  const HexGrid grid;
+  EXPECT_TRUE(compact(grid, {}, 0).empty());
+}
+
+TEST(Compact, RejectsMixedResolutions) {
+  const HexGrid grid;
+  EXPECT_THROW(
+      (void)compact(grid, {CellId(5, {0, 0}), CellId(6, {0, 0})}, 0),
+      std::invalid_argument);
+  EXPECT_THROW((void)compact(grid, {CellId(5, {0, 0})}, 7),
+               std::invalid_argument);
+}
+
+TEST(Uncompact, ExpandsCoarseCells) {
+  const HexGrid grid;
+  const CellId parent = grid.cell_of({39.0, -98.0}, 3);
+  const auto expanded = uncompact(grid, {parent}, 5);
+  EXPECT_GE(expanded.size(), 13U);  // ~16 descendants two levels down
+  for (const CellId c : expanded) {
+    EXPECT_EQ(c.resolution(), 5);
+    // The hierarchy composes through one-level steps (center-based
+    // parents), so check the composed relation.
+    EXPECT_EQ(grid.parent_of(grid.parent_of(c, 4), 3), parent);
+  }
+}
+
+TEST(Uncompact, RejectsFinerThanTarget) {
+  const HexGrid grid;
+  EXPECT_THROW((void)uncompact(grid, {CellId(6, {0, 0})}, 5),
+               std::invalid_argument);
+}
+
+TEST(Uncompact, MixedResolutionInputFlattens) {
+  const HexGrid grid;
+  const CellId coarse = grid.cell_of({39.0, -98.0}, 4);
+  const CellId fine = grid.cell_of({45.0, -110.0}, 5);
+  const auto expanded = uncompact(grid, {coarse, fine}, 5);
+  for (const CellId c : expanded) EXPECT_EQ(c.resolution(), 5);
+  EXPECT_NE(std::find(expanded.begin(), expanded.end(), fine),
+            expanded.end());
+}
+
+}  // namespace
+}  // namespace leodivide::hex
+
+// Appended: compact/uncompact round-trip property sweep.
+namespace leodivide::hex {
+namespace {
+
+struct BoxCase {
+  double lat_lo, lat_hi, lon_lo, lon_hi;
+  int res;
+};
+
+class CompactRoundTrip : public ::testing::TestWithParam<BoxCase> {};
+
+TEST_P(CompactRoundTrip, UncompactRestoresExactSet) {
+  const auto& b = GetParam();
+  const HexGrid grid;
+  const auto cells = polyfill(
+      grid, geo::BoundingBox{b.lat_lo, b.lat_hi, b.lon_lo, b.lon_hi}, b.res);
+  ASSERT_FALSE(cells.empty());
+  const auto compacted = compact(grid, cells, 0);
+  EXPECT_LE(compacted.size(), cells.size());
+  auto expanded = uncompact(grid, compacted, b.res);
+  std::vector<CellId> original = cells;
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(expanded, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boxes, CompactRoundTrip,
+    ::testing::Values(BoxCase{38.0, 39.0, -100.0, -99.0, 5},
+                      BoxCase{30.0, 32.0, -90.0, -88.0, 5},
+                      BoxCase{44.0, 46.0, -120.0, -117.0, 5},
+                      BoxCase{38.0, 40.0, -100.0, -97.0, 6},
+                      BoxCase{36.0, 37.0, -98.0, -97.0, 4}));
+
+}  // namespace
+}  // namespace leodivide::hex

@@ -1,0 +1,618 @@
+// Unit and property tests for leodivide::orbit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "leodivide/geo/angle.hpp"
+#include "leodivide/geo/greatcircle.hpp"
+#include "leodivide/orbit/density.hpp"
+#include "leodivide/orbit/footprint.hpp"
+#include "leodivide/orbit/groundtrack.hpp"
+#include "leodivide/orbit/kepler.hpp"
+#include "leodivide/orbit/propagate.hpp"
+#include "leodivide/orbit/visibility.hpp"
+#include "leodivide/orbit/walker.hpp"
+
+namespace leodivide::orbit {
+namespace {
+
+CircularOrbit starlink_orbit() {
+  return CircularOrbit{550.0, geo::deg2rad(53.0), 0.0, 0.0};
+}
+
+// ----------------------------------------------------------------- kepler ----
+
+TEST(Kepler, PeriodAt550KmIsAbout95Minutes) {
+  EXPECT_NEAR(starlink_orbit().period_s(), 95.6 * 60.0, 60.0);
+}
+
+TEST(Kepler, SpeedAt550KmIsAbout7_6KmPerS) {
+  EXPECT_NEAR(starlink_orbit().speed_km_s(), 7.59, 0.05);
+}
+
+TEST(Kepler, HigherOrbitHasLongerPeriod) {
+  CircularOrbit low{550.0}, high{1200.0};
+  EXPECT_LT(low.period_s(), high.period_s());
+}
+
+TEST(Kepler, PositionStaysOnOrbitSphere) {
+  const CircularOrbit orbit = starlink_orbit();
+  for (double t = 0.0; t < orbit.period_s(); t += 200.0) {
+    EXPECT_NEAR(eci_position(orbit, t).norm(), orbit.radius_km(), 1e-6);
+  }
+}
+
+TEST(Kepler, OrbitIsPeriodicInEci) {
+  const CircularOrbit orbit = starlink_orbit();
+  const geo::Vec3 p0 = eci_position(orbit, 0.0);
+  const geo::Vec3 p1 = eci_position(orbit, orbit.period_s());
+  EXPECT_NEAR((p1 - p0).norm(), 0.0, 1e-6);
+}
+
+TEST(Kepler, EquatorialOrbitStaysOnEquator) {
+  const CircularOrbit orbit{550.0, 0.0, 0.0, 0.0};
+  for (double t = 0.0; t < 6000.0; t += 500.0) {
+    EXPECT_NEAR(subsatellite_point(orbit, t).lat_deg, 0.0, 1e-9);
+  }
+}
+
+TEST(Kepler, GroundLatitudeBoundedByInclination) {
+  const CircularOrbit orbit = starlink_orbit();
+  for (double t = 0.0; t < 2.0 * orbit.period_s(); t += 60.0) {
+    EXPECT_LE(std::abs(subsatellite_point(orbit, t).lat_deg), 53.0 + 1e-6);
+  }
+  EXPECT_NEAR(max_ground_latitude_deg(orbit), 53.0, 1e-9);
+}
+
+TEST(Kepler, GroundTrackReachesInclinationLatitude) {
+  const CircularOrbit orbit = starlink_orbit();
+  double max_lat = 0.0;
+  for (double t = 0.0; t < orbit.period_s(); t += 5.0) {
+    max_lat = std::max(max_lat, subsatellite_point(orbit, t).lat_deg);
+  }
+  EXPECT_NEAR(max_lat, 53.0, 0.1);
+}
+
+TEST(Kepler, RetrogradeMaxLatitudeIsSupplement) {
+  const CircularOrbit orbit{550.0, geo::deg2rad(97.0), 0.0, 0.0};
+  EXPECT_NEAR(max_ground_latitude_deg(orbit), 83.0, 1e-9);
+}
+
+// ----------------------------------------------------------------- walker ----
+
+TEST(Walker, Shell1Is1584Sats) {
+  const WalkerShell shell = starlink_shell1();
+  EXPECT_EQ(shell.total_sats(), 1584U);
+  EXPECT_EQ(make_constellation(shell).size(), 1584U);
+}
+
+TEST(Walker, ToStringFormat) {
+  EXPECT_EQ(starlink_shell1().to_string(), "53:1584/72/1 @ 550km");
+}
+
+TEST(Walker, AllOrbitsShareAltitudeAndInclination) {
+  const auto orbits = make_constellation(starlink_shell1());
+  for (const auto& o : orbits) {
+    EXPECT_DOUBLE_EQ(o.altitude_km, 550.0);
+    EXPECT_NEAR(o.inclination_rad, geo::deg2rad(53.0), 1e-12);
+  }
+}
+
+TEST(Walker, RaanIsEvenlySpaced) {
+  const WalkerShell shell{53.0, 550.0, 8, 3, 1};
+  const auto orbits = make_constellation(shell);
+  for (std::uint32_t p = 0; p < shell.planes; ++p) {
+    EXPECT_NEAR(orbits[p * 3].raan_rad, geo::kTwoPi * p / 8.0, 1e-12);
+  }
+}
+
+TEST(Walker, PhasesWithinPlaneAreEvenlySpaced) {
+  const WalkerShell shell{53.0, 550.0, 4, 5, 0};
+  const auto orbits = make_constellation(shell);
+  for (std::uint32_t k = 1; k < 5; ++k) {
+    EXPECT_NEAR(orbits[k].phase_rad - orbits[k - 1].phase_rad,
+                geo::kTwoPi / 5.0, 1e-12);
+  }
+}
+
+TEST(Walker, RejectsDegenerateShells) {
+  EXPECT_THROW(make_constellation({53.0, 550.0, 0, 22, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(make_constellation({53.0, 550.0, 72, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(make_constellation({53.0, 550.0, 4, 4, 4}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- propagate ----
+
+TEST(Propagate, EcefMatchesSubsatellitePoint) {
+  const CircularOrbit orbit = starlink_orbit();
+  for (double t : {0.0, 1234.0, 5000.0}) {
+    const geo::GeoPoint from_ecef =
+        geo::cartesian_to_spherical(ecef_position(orbit, t));
+    EXPECT_TRUE(geo::approx_equal(from_ecef, subsatellite_point(orbit, t),
+                                  1e-9));
+  }
+}
+
+TEST(Propagate, AllStatesHaveConsistentRadius) {
+  const auto orbits = make_constellation(starlink_shell1());
+  const auto states = propagate_all(orbits, 777.0);
+  ASSERT_EQ(states.size(), orbits.size());
+  for (const auto& s : states) {
+    EXPECT_NEAR(s.ecef_km.norm(), geo::kEarthRadiusKm + 550.0, 1e-6);
+  }
+}
+
+// ------------------------------------------------------------- groundtrack ----
+
+TEST(GroundTrack, SampleCountMatchesDuration) {
+  const auto track = ground_track(starlink_orbit(), 600.0, 60.0);
+  EXPECT_EQ(track.size(), 11U);
+}
+
+TEST(GroundTrack, RejectsBadParams) {
+  EXPECT_THROW(ground_track(starlink_orbit(), 100.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ground_track(starlink_orbit(), -1.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(GroundTrack, NodalRegressionIsAbout24Degrees) {
+  // 95.6-minute orbit: Earth rotates ~23.9 deg per orbit.
+  EXPECT_NEAR(nodal_regression_per_orbit_deg(starlink_orbit()), 24.0, 0.5);
+}
+
+// -------------------------------------------------------------- visibility ----
+
+TEST(Visibility, SatelliteDirectlyOverheadAt90Degrees) {
+  const geo::GeoPoint ground{40.0, -100.0};
+  const geo::Vec3 sat =
+      geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm + 550.0);
+  EXPECT_NEAR(elevation_deg(ground, sat), 90.0, 1e-5);
+  EXPECT_NEAR(slant_range_km(ground, sat), 550.0, 1e-6);
+}
+
+TEST(Visibility, AntipodalSatelliteBelowHorizon) {
+  const geo::GeoPoint ground{0.0, 0.0};
+  const geo::Vec3 sat =
+      geo::spherical_to_cartesian({0.0, 180.0}, geo::kEarthRadiusKm + 550.0);
+  EXPECT_LT(elevation_deg(ground, sat), -80.0);
+  EXPECT_FALSE(is_visible(ground, sat, 0.0));
+}
+
+TEST(Visibility, ElevationDecreasesWithGroundDistance) {
+  const geo::GeoPoint subpoint{40.0, -100.0};
+  const geo::Vec3 sat =
+      geo::spherical_to_cartesian(subpoint, geo::kEarthRadiusKm + 550.0);
+  double prev = 90.0;
+  for (double off = 1.0; off <= 20.0; off += 1.0) {
+    const double el = elevation_deg({40.0, -100.0 + off}, sat);
+    EXPECT_LT(el, prev);
+    prev = el;
+  }
+}
+
+TEST(Visibility, CountMatchesIndices) {
+  const auto orbits = make_constellation(starlink_shell1());
+  const auto states = propagate_all(orbits, 0.0);
+  const geo::GeoPoint ground{39.5, -98.35};
+  const auto idx = visible_satellites(ground, states, 25.0);
+  EXPECT_EQ(idx.size(), count_visible(ground, states, 25.0));
+  for (std::size_t i : idx) {
+    EXPECT_GE(elevation_deg(ground, states[i].ecef_km), 25.0);
+  }
+}
+
+TEST(Visibility, Shell1SeesSeveralSatsFromMidLatitudes) {
+  // From the CONUS centroid at a 25-degree mask, shell 1 should always show
+  // at least one satellite and typically a handful.
+  const auto orbits = make_constellation(starlink_shell1());
+  for (double t : {0.0, 300.0, 900.0, 2700.0}) {
+    const auto states = propagate_all(orbits, t);
+    EXPECT_GE(count_visible({39.5, -98.35}, states, 25.0), 1U);
+  }
+}
+
+// ---------------------------------------------------------------- footprint ----
+
+TEST(Footprint, ZeroElevationGivesWidestFootprint) {
+  const double wide = footprint_radius_km(550.0, 0.0);
+  const double narrow = footprint_radius_km(550.0, 25.0);
+  const double very_narrow = footprint_radius_km(550.0, 60.0);
+  EXPECT_GT(wide, narrow);
+  EXPECT_GT(narrow, very_narrow);
+}
+
+TEST(Footprint, KnownStarlinkGeometry) {
+  // 550 km altitude, 25-degree mask: coverage radius ~ 940 km.
+  EXPECT_NEAR(footprint_radius_km(550.0, 25.0), 940.0, 40.0);
+}
+
+TEST(Footprint, AreaMatchesCapFormula) {
+  const double psi = coverage_central_angle_rad(550.0, 25.0);
+  EXPECT_NEAR(footprint_area_km2(550.0, 25.0),
+              geo::spherical_cap_area_km2(psi), 1e-6);
+}
+
+TEST(Footprint, CellsInFootprintIsConsistent) {
+  const double cells = cells_in_footprint(550.0, 25.0, 252.9);
+  EXPECT_NEAR(cells, footprint_area_km2(550.0, 25.0) / 252.9, 1e-9);
+  EXPECT_GT(cells, 1000.0);  // thousands of res-5 cells fit a footprint
+}
+
+TEST(Footprint, NadirAngleBelowHorizonLimit) {
+  const double nadir = edge_nadir_angle_rad(550.0, 25.0);
+  const double horizon_limit =
+      std::asin(geo::kEarthRadiusKm / (geo::kEarthRadiusKm + 550.0));
+  EXPECT_LT(nadir, horizon_limit);
+  EXPECT_GT(nadir, 0.0);
+}
+
+TEST(Footprint, RejectsBadInputs) {
+  EXPECT_THROW(coverage_central_angle_rad(0.0, 25.0), std::invalid_argument);
+  EXPECT_THROW(coverage_central_angle_rad(550.0, 90.0), std::invalid_argument);
+  EXPECT_THROW(cells_in_footprint(550.0, 25.0, 0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ density ----
+
+TEST(Density, PdfIntegratesToOne) {
+  double integral = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double lat = -90.0 + 180.0 * (i + 0.5) / n;
+    integral += latitude_pdf(lat, 53.0) * geo::deg2rad(180.0 / n);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Density, ZeroOutsideInclinationBand) {
+  EXPECT_DOUBLE_EQ(latitude_pdf(60.0, 53.0), 0.0);
+  EXPECT_DOUBLE_EQ(latitude_pdf(-54.0, 53.0), 0.0);
+  EXPECT_DOUBLE_EQ(surface_density_per_km2(1000, 75.0, 53.0), 0.0);
+}
+
+TEST(Density, IncreasesTowardInclinationLatitude) {
+  double prev = 0.0;
+  for (double lat = 0.0; lat <= 50.0; lat += 10.0) {
+    const double d = surface_density_per_km2(1584, lat, 53.0);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Density, RelativeDensityIntegratesLikeUniform) {
+  // Weighted by area, the relative density must average to 1.
+  double integral = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double lat = -90.0 + 180.0 * (i + 0.5) / n;
+    const double band = std::cos(geo::deg2rad(lat)) / 2.0;
+    integral += relative_density(lat, 53.0) * band * geo::deg2rad(180.0 / n);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Density, InverseProblemRoundTrip) {
+  const double n_sats = 8000.0;
+  const double rho = surface_density_per_km2(n_sats, 37.0, 53.0);
+  EXPECT_NEAR(constellation_size_for_density(rho, 37.0, 53.0), n_sats, 1e-6);
+}
+
+TEST(Density, InverseRejectsOutOfBandLatitude) {
+  EXPECT_THROW(constellation_size_for_density(1e-4, 60.0, 53.0),
+               std::invalid_argument);
+  EXPECT_THROW(constellation_size_for_density(0.0, 30.0, 53.0),
+               std::invalid_argument);
+}
+
+TEST(Density, EmpiricalMatchesAnalyticAtMidLatitudes) {
+  // Time-averaged density from actual propagation should match the analytic
+  // formula away from the divergence at the inclination limit.
+  const WalkerShell shell = starlink_shell1();
+  const auto empirical = empirical_density_per_km2(shell, 200, 36);
+  for (int band = 0; band < 36; ++band) {
+    const double lat = -90.0 + (band + 0.5) * 5.0;
+    if (std::abs(lat) > 45.0) continue;  // skip the divergent edge bands
+    const double analytic =
+        surface_density_per_km2(shell.total_sats(), lat, 53.0);
+    EXPECT_NEAR(empirical[static_cast<std::size_t>(band)], analytic,
+                analytic * 0.15)
+        << "latitude band " << lat;
+  }
+}
+
+TEST(Density, EmpiricalRejectsBadInputs) {
+  EXPECT_THROW(empirical_density_per_km2(starlink_shell1(), 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(empirical_density_per_km2(starlink_shell1(), 10, 0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- parameterized sweeps ----
+
+class PeriodSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PeriodSweep, KeplerThirdLawHolds) {
+  const double alt = GetParam();
+  const CircularOrbit orbit{alt};
+  const double r = orbit.radius_km();
+  const double t = orbit.period_s();
+  // T^2 / a^3 = 4 pi^2 / mu.
+  EXPECT_NEAR(t * t / (r * r * r),
+              4.0 * geo::kPi * geo::kPi / geo::kMuEarth, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Altitudes, PeriodSweep,
+                         ::testing::Values(340.0, 550.0, 570.0, 1150.0,
+                                           1325.0));
+
+class FootprintMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(FootprintMonotone, HigherAltitudeWiderFootprint) {
+  const double elev = GetParam();
+  double prev = 0.0;
+  for (double alt : {340.0, 550.0, 1150.0}) {
+    const double r = footprint_radius_km(alt, elev);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Elevations, FootprintMonotone,
+                         ::testing::Values(0.0, 10.0, 25.0, 40.0, 55.0));
+
+}  // namespace
+}  // namespace leodivide::orbit
+
+// Appended: multi-shell constellation tests (orbit/shells.hpp).
+#include "leodivide/orbit/shells.hpp"
+
+namespace leodivide::orbit {
+namespace {
+
+TEST(MultiShell, Gen1TotalsAndCoverage) {
+  const MultiShellConstellation gen1 = starlink_gen1();
+  EXPECT_EQ(gen1.shells().size(), 5U);
+  // 1584 + 1584 + 720 + 348 + 172 = 4408 authorised Gen1 satellites.
+  EXPECT_EQ(gen1.total_sats(), 4408U);
+  // Polar shells (97.6 deg retrograde) cover up to 180 - 97.6 = 82.4 deg.
+  EXPECT_NEAR(gen1.max_covered_latitude_deg(), 82.4, 1e-9);
+}
+
+TEST(MultiShell, DensityIsSumOfShellDensities) {
+  MultiShellConstellation mix;
+  mix.add_shell({53.0, 550.0, 72, 22, 1});
+  mix.add_shell({70.0, 570.0, 36, 20, 1});
+  const double at40 = mix.surface_density_per_km2(40.0);
+  const double expected =
+      surface_density_per_km2(1584, 40.0, 53.0) +
+      surface_density_per_km2(720, 40.0, 70.0);
+  EXPECT_NEAR(at40, expected, expected * 1e-12);
+}
+
+TEST(MultiShell, HighLatitudeOnlyCoveredByHighInclination) {
+  const MultiShellConstellation gen1 = starlink_gen1();
+  // At 75 deg N only the polar shells contribute.
+  const double polar_only =
+      surface_density_per_km2(348, 75.0, 97.6) +
+      surface_density_per_km2(172, 75.0, 97.6);
+  EXPECT_NEAR(gen1.surface_density_per_km2(75.0), polar_only,
+              polar_only * 1e-12);
+}
+
+TEST(MultiShell, SizeForDensityScalesLinearly) {
+  const MultiShellConstellation gen1 = starlink_gen1();
+  const double rho = gen1.surface_density_per_km2(36.5);
+  // Requiring exactly today's density returns today's fleet.
+  EXPECT_NEAR(gen1.size_for_density(rho, 36.5), 4408.0, 1e-6);
+  EXPECT_NEAR(gen1.size_for_density(2.0 * rho, 36.5), 8816.0, 1e-6);
+}
+
+TEST(MultiShell, SizeForDensityRejectsUncoveredLatitude) {
+  MultiShellConstellation mix;
+  mix.add_shell({53.0, 550.0, 72, 22, 1});
+  EXPECT_THROW((void)mix.size_for_density(1e-4, 60.0), std::invalid_argument);
+  EXPECT_THROW((void)mix.size_for_density(0.0, 30.0), std::invalid_argument);
+  EXPECT_THROW((void)MultiShellConstellation{}.size_for_density(1e-4, 30.0),
+               std::invalid_argument);
+}
+
+TEST(MultiShell, LowerInclinationNeedsFewerSatsAtMidLatitudes) {
+  // The shell-design ablation's core claim: density at 36.5 deg per
+  // satellite is higher for a 43-degree shell than a 53-degree one.
+  EXPECT_GT(surface_density_per_km2(1000, 36.5, 43.0),
+            surface_density_per_km2(1000, 36.5, 53.0));
+}
+
+TEST(MultiShell, AllOrbitsConcatenatesShells) {
+  MultiShellConstellation mix;
+  mix.add_shell({53.0, 550.0, 4, 3, 1});
+  mix.add_shell({70.0, 570.0, 2, 5, 1});
+  EXPECT_EQ(mix.all_orbits().size(), 22U);
+}
+
+}  // namespace
+}  // namespace leodivide::orbit
+
+// Appended: inter-satellite link topology (orbit/isl.hpp).
+#include "leodivide/orbit/isl.hpp"
+
+namespace leodivide::orbit {
+namespace {
+
+TEST(Isl, AddressRoundTrip) {
+  const IslGrid grid(WalkerShell{53.0, 550.0, 8, 5, 1});
+  for (std::uint32_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid.index_of(grid.address_of(i)), i);
+  }
+  EXPECT_THROW((void)grid.index_of({8, 0}), std::out_of_range);
+  EXPECT_THROW((void)grid.address_of(40), std::out_of_range);
+}
+
+TEST(Isl, PlusGridHasFourNeighbors) {
+  const IslGrid grid(starlink_shell1());
+  const auto n = grid.neighbors(100);
+  EXPECT_EQ(n.size(), 4U);
+  // Symmetry: every neighbour lists us back.
+  for (std::uint32_t x : n) {
+    const auto back = grid.neighbors(x);
+    EXPECT_NE(std::find(back.begin(), back.end(), 100U), back.end());
+  }
+}
+
+TEST(Isl, SmallShellsDegradeGracefully) {
+  // Two planes: +grid collapses the second inter-plane link.
+  const IslGrid grid(WalkerShell{53.0, 550.0, 2, 4, 1});
+  EXPECT_EQ(grid.neighbors(0).size(), 3U);
+}
+
+TEST(Isl, HopDistanceProperties) {
+  const IslGrid grid(WalkerShell{53.0, 550.0, 6, 6, 1});
+  EXPECT_EQ(grid.hop_distance(0, 0), 0U);
+  // Adjacent satellites are one hop.
+  for (std::uint32_t n : grid.neighbors(7)) {
+    EXPECT_EQ(grid.hop_distance(7, n), 1U);
+  }
+  // Symmetric.
+  EXPECT_EQ(grid.hop_distance(3, 27), grid.hop_distance(27, 3));
+  // Torus diameter bound: planes/2 + per_plane/2.
+  for (std::uint32_t b = 0; b < grid.size(); b += 5) {
+    EXPECT_LE(grid.hop_distance(0, b), 6U);
+  }
+}
+
+TEST(Isl, HopsToNearestGateway) {
+  const IslGrid grid(WalkerShell{53.0, 550.0, 6, 6, 1});
+  const std::vector<std::uint32_t> sources{0, 18};
+  const auto hops = grid.hops_to_nearest(sources);
+  ASSERT_EQ(hops.size(), grid.size());
+  EXPECT_EQ(hops[0], 0U);
+  EXPECT_EQ(hops[18], 0U);
+  for (std::uint32_t i = 0; i < grid.size(); ++i) {
+    EXPECT_LT(hops[i], 7U);  // everything reachable within the diameter
+  }
+  EXPECT_THROW((void)grid.hops_to_nearest({}), std::invalid_argument);
+}
+
+TEST(Isl, IntraPlaneLinkLength) {
+  // 22 sats per plane at 550 km: chord of 2*pi/22 on a 6921 km circle.
+  const IslGrid grid(starlink_shell1());
+  EXPECT_NEAR(grid.intra_plane_link_km(), 1975.0, 15.0);
+}
+
+TEST(Isl, PropagationDelays) {
+  EXPECT_NEAR(propagation_delay_ms(299.792458), 1.0, 1e-12);
+  // Bent pipe with both slants at 600 km: ~4 ms one way.
+  EXPECT_NEAR(bent_pipe_delay_ms(600.0, 600.0), 4.0, 0.01);
+  EXPECT_THROW((void)propagation_delay_ms(-1.0), std::invalid_argument);
+}
+
+TEST(Isl, GeoComparisonFavorsLeo) {
+  // The motivation in Section 2.1: GEO at 35,786 km vs LEO at ~600 km.
+  const double leo = bent_pipe_delay_ms(600.0, 600.0);
+  const double geo_delay = bent_pipe_delay_ms(35786.0, 35786.0);
+  EXPECT_GT(geo_delay / leo, 50.0);
+}
+
+}  // namespace
+}  // namespace leodivide::orbit
+
+// Appended: TLE ephemeris I/O (orbit/tle.hpp).
+#include <sstream>
+
+#include "leodivide/orbit/tle.hpp"
+
+namespace leodivide::orbit {
+namespace {
+
+// The canonical ISS element set used in TLE format documentation.
+const char* kIssLine1 =
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+const char* kIssLine2 =
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+TEST(TleChecksum, MatchesKnownLines) {
+  EXPECT_EQ(tle_checksum(std::string(kIssLine1).substr(0, 68)), 7);
+  EXPECT_EQ(tle_checksum(std::string(kIssLine2).substr(0, 68)), 7);
+}
+
+TEST(TleParse, IssFields) {
+  const Tle tle = parse_tle(kIssLine1, kIssLine2, "ISS (ZARYA)");
+  EXPECT_EQ(tle.name, "ISS (ZARYA)");
+  EXPECT_EQ(tle.catalog_number, 25544U);
+  EXPECT_NEAR(tle.inclination_deg, 51.6416, 1e-9);
+  EXPECT_NEAR(tle.raan_deg, 247.4627, 1e-9);
+  EXPECT_NEAR(tle.eccentricity, 0.0006703, 1e-12);
+  EXPECT_NEAR(tle.mean_motion_rev_day, 15.72125391, 1e-7);
+  // ISS altitude ~340-360 km at that epoch.
+  EXPECT_NEAR(tle.altitude_km(), 350.0, 15.0);
+}
+
+TEST(TleParse, RejectsCorruptedLines) {
+  std::string bad1 = kIssLine1;
+  bad1[20] = '9';  // corrupt a digit -> checksum fails
+  EXPECT_THROW((void)parse_tle(bad1, kIssLine2), std::invalid_argument);
+  EXPECT_THROW((void)parse_tle(kIssLine2, kIssLine1),
+               std::invalid_argument);  // swapped line numbers
+  EXPECT_THROW((void)parse_tle("1 short", kIssLine2), std::invalid_argument);
+}
+
+TEST(TleParse, RejectsMismatchedCatalogNumbers) {
+  // Change line 2's catalog number and fix its checksum.
+  std::string l2 = kIssLine2;
+  l2[6] = '5';  // 25544 -> 25545
+  l2.resize(68);
+  l2.push_back(static_cast<char>('0' + tle_checksum(l2)));
+  EXPECT_THROW((void)parse_tle(kIssLine1, l2), std::invalid_argument);
+}
+
+TEST(TleRoundTrip, GeneratedOrbitSurvives) {
+  const CircularOrbit orbit{550.0, geo::deg2rad(53.0),
+                            geo::deg2rad(123.4), geo::deg2rad(77.0)};
+  const std::string text = to_tle(orbit, 44444, "STARLINK-TEST");
+  std::istringstream in(text);
+  const auto catalog = read_tle_catalog(in);
+  ASSERT_EQ(catalog.size(), 1U);
+  EXPECT_EQ(catalog[0].name, "STARLINK-TEST");
+  EXPECT_EQ(catalog[0].catalog_number, 44444U);
+  const CircularOrbit back = to_circular_orbit(catalog[0]);
+  EXPECT_NEAR(back.altitude_km, 550.0, 0.5);
+  EXPECT_NEAR(back.inclination_rad, orbit.inclination_rad, 1e-4);
+  EXPECT_NEAR(back.raan_rad, orbit.raan_rad, 1e-4);
+  EXPECT_NEAR(back.phase_rad, orbit.phase_rad, 1e-4);
+}
+
+TEST(TleCatalog, ReadsWholeConstellations) {
+  const WalkerShell shell{53.0, 550.0, 4, 3, 1};
+  std::ostringstream out;
+  std::uint32_t n = 10000;
+  for (const auto& orbit : make_constellation(shell)) {
+    out << to_tle(orbit, n++);
+  }
+  std::istringstream in(out.str());
+  const auto catalog = read_tle_catalog(in);
+  ASSERT_EQ(catalog.size(), 12U);
+  for (const auto& tle : catalog) {
+    EXPECT_NEAR(tle.inclination_deg, 53.0, 1e-3);
+    EXPECT_NEAR(tle.altitude_km(), 550.0, 1.0);
+  }
+}
+
+TEST(TleCatalog, RejectsDanglingRecords) {
+  std::istringstream in(std::string(kIssLine1) + "\n");
+  EXPECT_THROW((void)read_tle_catalog(in), std::invalid_argument);
+}
+
+TEST(TleConvert, RejectsEccentricOrbits) {
+  Tle tle;
+  tle.eccentricity = 0.2;
+  tle.mean_motion_rev_day = 15.0;
+  EXPECT_THROW((void)to_circular_orbit(tle), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace leodivide::orbit

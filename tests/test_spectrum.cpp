@@ -1,0 +1,201 @@
+// Unit tests for leodivide::spectrum — the Table 1 substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "leodivide/spectrum/band.hpp"
+#include "leodivide/spectrum/beamplan.hpp"
+#include "leodivide/spectrum/efficiency.hpp"
+#include "leodivide/spectrum/linkbudget.hpp"
+
+namespace leodivide::spectrum {
+namespace {
+
+// ------------------------------------------------------------------ bands ----
+
+TEST(Band, WidthInMhz) {
+  const Band b{"test", 10.7, 12.75, 4, BeamUsage::kUserDownlink};
+  EXPECT_NEAR(b.width_mhz(), 2050.0, 1e-9);
+}
+
+TEST(ScheduleS, MatchesPaperTable1) {
+  const SpectrumPlan plan = starlink_schedule_s();
+  EXPECT_EQ(plan.bands().size(), 5U);
+  EXPECT_NEAR(plan.user_downlink_mhz(), 3850.0, 1e-9);
+  EXPECT_NEAR(plan.total_mhz(), 8850.0, 1e-9);
+  EXPECT_EQ(plan.user_beams(), 24U);
+  EXPECT_EQ(plan.total_beams(), 28U);
+}
+
+TEST(ScheduleS, GatewayBandIsExcludedFromUserSpectrum) {
+  const SpectrumPlan plan = starlink_schedule_s();
+  EXPECT_NEAR(plan.total_mhz() - plan.user_downlink_mhz(), 5000.0, 1e-9);
+}
+
+TEST(SpectrumPlan, RejectsEmptyAndInverted) {
+  EXPECT_THROW(SpectrumPlan({}), std::invalid_argument);
+  EXPECT_THROW(
+      SpectrumPlan({{"bad", 12.0, 11.0, 1, BeamUsage::kUserDownlink}}),
+      std::invalid_argument);
+}
+
+TEST(BeamUsageNames, RoundTripStrings) {
+  EXPECT_EQ(to_string(BeamUsage::kUserDownlink), "DL to UTs");
+  EXPECT_EQ(to_string(BeamUsage::kUserOrGatewayDownlink), "DL to UTs / GWs");
+  EXPECT_EQ(to_string(BeamUsage::kGatewayDownlink), "DL to GWs");
+}
+
+// ------------------------------------------------------------- efficiency ----
+
+TEST(Efficiency, PaperCapacityFigure) {
+  // 3850 MHz x 4.5 bps/Hz = 17.325 Gbps (~17.3 in the paper).
+  EXPECT_NEAR(capacity_gbps(3850.0, kPaperSpectralEfficiency), 17.325, 1e-9);
+}
+
+TEST(Efficiency, CapacityScalesLinearly) {
+  EXPECT_DOUBLE_EQ(capacity_gbps(100.0, 2.0), 0.2);
+  EXPECT_DOUBLE_EQ(capacity_gbps(0.0, 4.5), 0.0);
+  EXPECT_THROW(capacity_gbps(-1.0, 4.5), std::invalid_argument);
+}
+
+TEST(Efficiency, ShannonKnownValues) {
+  EXPECT_DOUBLE_EQ(shannon_efficiency(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_efficiency(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(shannon_efficiency(3.0), 2.0);
+  EXPECT_THROW(shannon_efficiency(-0.5), std::invalid_argument);
+}
+
+TEST(Efficiency, ModcodLadderIsMonotone) {
+  double prev = -1.0;
+  for (double snr = -5.0; snr <= 25.0; snr += 0.5) {
+    const double eff = modcod_efficiency(snr);
+    EXPECT_GE(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(Efficiency, ModcodBelowThresholdIsZero) {
+  EXPECT_DOUBLE_EQ(modcod_efficiency(-10.0), 0.0);
+}
+
+TEST(Efficiency, ModcodNeverExceedsShannon) {
+  for (double snr_db = -2.0; snr_db <= 22.0; snr_db += 1.0) {
+    const double shannon =
+        shannon_efficiency(std::pow(10.0, snr_db / 10.0));
+    EXPECT_LE(modcod_efficiency(snr_db), shannon + 1e-9) << snr_db;
+  }
+}
+
+// -------------------------------------------------------------- linkbudget ----
+
+TEST(LinkBudgetTest, FsplKnownValue) {
+  // 600 km at 11.7 GHz: 20log10(600)+20log10(11.7)+92.45 = ~169.4 dB.
+  EXPECT_NEAR(free_space_path_loss_db(600.0, 11.7), 169.38, 0.05);
+  EXPECT_THROW(free_space_path_loss_db(0.0, 11.7), std::invalid_argument);
+}
+
+TEST(LinkBudgetTest, DefaultBudgetSupportsPaperEfficiency) {
+  // The default Ku-band budget should land in the neighbourhood of the
+  // paper's adopted 4.5 bps/Hz (within the 32APSK-64APSK MODCOD range).
+  const LinkBudget budget;
+  const double eff = achievable_efficiency(budget);
+  EXPECT_GE(eff, 3.5);
+  EXPECT_LE(eff, 5.5);
+}
+
+TEST(LinkBudgetTest, ShannonBoundsModcod) {
+  const LinkBudget budget;
+  EXPECT_LT(achievable_efficiency(budget), shannon_bound_efficiency(budget));
+}
+
+TEST(LinkBudgetTest, LongerRangeLowersCn) {
+  LinkBudget near_budget;
+  LinkBudget far_budget;
+  far_budget.slant_range_km = 1200.0;
+  EXPECT_GT(carrier_to_noise_db(near_budget), carrier_to_noise_db(far_budget));
+}
+
+TEST(LinkBudgetTest, MoreBandwidthLowersCn) {
+  LinkBudget narrow;
+  LinkBudget wide;
+  wide.bandwidth_mhz = narrow.bandwidth_mhz * 4.0;
+  EXPECT_GT(carrier_to_noise_db(narrow), carrier_to_noise_db(wide));
+}
+
+// ---------------------------------------------------------------- beamplan ----
+
+TEST(BeamPlanTest, PaperNumbers) {
+  const BeamPlan plan = starlink_beam_plan();
+  EXPECT_NEAR(plan.full_cell_capacity_gbps(), 17.325, 1e-9);
+  EXPECT_NEAR(plan.per_beam_capacity_gbps(), 17.325 / 4.0, 1e-9);
+  EXPECT_EQ(plan.user_beams(), 24U);
+  EXPECT_EQ(plan.beams_per_full_cell(), 4U);
+}
+
+TEST(BeamPlanTest, SpreadDividesCapacity) {
+  const BeamPlan plan = starlink_beam_plan();
+  EXPECT_NEAR(plan.spread_cell_capacity_gbps(1.0), 17.325, 1e-9);
+  EXPECT_NEAR(plan.spread_cell_capacity_gbps(5.0), 3.465, 1e-9);
+  EXPECT_THROW(plan.spread_cell_capacity_gbps(0.5), std::invalid_argument);
+}
+
+TEST(BeamPlanTest, CellsServedPerSatelliteFormula) {
+  const BeamPlan plan = starlink_beam_plan();
+  // 1 + (24 - 4) * s — the denominator of the paper's Table-2 model.
+  EXPECT_DOUBLE_EQ(plan.cells_served_per_satellite(1.0, 4), 21.0);
+  EXPECT_DOUBLE_EQ(plan.cells_served_per_satellite(2.0, 4), 41.0);
+  EXPECT_DOUBLE_EQ(plan.cells_served_per_satellite(5.0, 4), 101.0);
+  EXPECT_DOUBLE_EQ(plan.cells_served_per_satellite(10.0, 4), 201.0);
+  EXPECT_DOUBLE_EQ(plan.cells_served_per_satellite(15.0, 4), 301.0);
+  EXPECT_DOUBLE_EQ(plan.cells_served_per_satellite(1.0, 1), 24.0);
+}
+
+TEST(BeamPlanTest, RejectsBadConstruction) {
+  EXPECT_THROW(BeamPlan(starlink_schedule_s(), 0), std::invalid_argument);
+  EXPECT_THROW(BeamPlan(starlink_schedule_s(), 25), std::invalid_argument);
+  EXPECT_THROW(BeamPlan(starlink_schedule_s(), 4, -1.0),
+               std::invalid_argument);
+}
+
+TEST(BeamPlanTest, RejectsBadBeamArguments) {
+  const BeamPlan plan = starlink_beam_plan();
+  EXPECT_THROW(plan.cells_served_per_satellite(0.5, 4),
+               std::invalid_argument);
+  EXPECT_THROW(plan.cells_served_per_satellite(1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(plan.cells_served_per_satellite(1.0, 25),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------- parameterized: spread sweep ----
+
+class SpreadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpreadSweep, CapacityTimesSpreadIsInvariant) {
+  const BeamPlan plan = starlink_beam_plan();
+  const double s = GetParam();
+  EXPECT_NEAR(plan.spread_cell_capacity_gbps(s) * s,
+              plan.full_cell_capacity_gbps(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spreads, SpreadSweep,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0, 8.0, 10.0,
+                                           15.0, 20.0));
+
+class BudgetRangeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetRangeSweep, EfficiencyDegradesGracefully) {
+  LinkBudget budget;
+  budget.slant_range_km = GetParam();
+  const double eff = achievable_efficiency(budget);
+  EXPECT_GE(eff, 0.0);
+  EXPECT_LE(eff, 5.44);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, BudgetRangeSweep,
+                         ::testing::Values(550.0, 700.0, 900.0, 1100.0,
+                                           1500.0, 2000.0));
+
+}  // namespace
+}  // namespace leodivide::spectrum
