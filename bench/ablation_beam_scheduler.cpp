@@ -18,6 +18,7 @@
 #include "leodivide/sim/simulation.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Ablation (a): analytic vs propagated satellite density");
 
@@ -143,5 +144,6 @@ int main() {
          "1 + (24-b)*s cell neighbourhood. The two agree on the headline: "
          "thousands of additional satellites are needed for full US "
          "coverage at acceptable oversubscription.\n";
+  leodivide::bench::emit_json_line("ablation_beam_scheduler", timer.elapsed_ms());
   return 0;
 }

@@ -23,6 +23,7 @@ double headline(const core::SizingModel& model,
 }  // namespace
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   bench::banner(
       "Ablation: sensitivity of F2 (satellites at beamspread 2, 20:1)");
 
@@ -108,5 +109,6 @@ int main() {
          "needed far fewer beams than the FCC filings indicate, or if the "
          "oversubscription cap is abandoned entirely (the 35:1 row — the "
          "paper's 'full service' scenario).\n";
+  leodivide::bench::emit_json_line("ablation_sensitivity", timer.elapsed_ms());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "leodivide/orbit/shells.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Ablation: shell inclination vs required fleet");
 
@@ -79,5 +80,6 @@ int main() {
          "is why real designs mix shells. The paper's 'anyone, anywhere' "
          "requirement (P1: full coverage) is exactly what forbids the "
          "cheap, demand-only design.\n";
+  leodivide::bench::emit_json_line("ablation_shell_design", timer.elapsed_ms());
   return 0;
 }

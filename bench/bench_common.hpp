@@ -2,14 +2,46 @@
 // Shared plumbing for the per-table/per-figure bench binaries: the national
 // calibrated profile (generated once) and paper-vs-measured row helpers.
 
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "leodivide/core/scenario.hpp"
 #include "leodivide/demand/generator.hpp"
 #include "leodivide/io/table.hpp"
+#include "leodivide/runtime/executor.hpp"
 
 namespace leodivide::bench {
+
+/// Monotonic wall-clock timer for whole-bench timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Emits the machine-readable result line every bench binary ends with:
+///   {"bench": "<name>", "threads": N, "wall_ms": X}
+/// `threads` defaults to the process-global executor's concurrency, so the
+/// line reflects LEODIVIDE_THREADS / --threads without extra plumbing.
+inline void emit_json_line(const std::string& bench, double wall_ms,
+                           std::size_t threads =
+                               runtime::global_executor().concurrency()) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\": \"%s\", \"threads\": %zu, \"wall_ms\": %.3f}",
+                bench.c_str(), threads, wall_ms);
+  std::cout << buf << std::endl;
+}
 
 /// The full-scale calibrated national demand profile (deterministic).
 inline const demand::DemandProfile& national_profile() {

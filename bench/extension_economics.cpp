@@ -9,6 +9,7 @@
 #include "leodivide/core/economics.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Extension: serving economics along the long tail");
 
@@ -67,5 +68,6 @@ int main() {
          "serving the long tail'. The affordability ceiling (F4) caps "
          "collectable revenue from exactly the population the paper "
          "studies, so prices cannot simply rise to cover the tail.\n";
+  leodivide::bench::emit_json_line("extension_economics", timer.elapsed_ms());
   return 0;
 }

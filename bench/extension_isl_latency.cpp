@@ -15,6 +15,7 @@
 #include "leodivide/stats/rng.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Extension: bent-pipe latency, LEO vs GEO");
 
@@ -84,5 +85,6 @@ int main() {
                "satellite within a handful of ~6.6 ms hops, so coverage "
                "(not backhaul reachability) remains the binding "
                "constraint the paper analyses.\n";
+  leodivide::bench::emit_json_line("extension_isl_latency", timer.elapsed_ms());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "leodivide/sim/gateway.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Extension (a): uplink vs downlink at the peak cell");
 
@@ -100,5 +101,6 @@ int main() {
             << "), but the gateway ground segment must scale with the "
                "constellation — another cost the headline satellite count "
                "hides.\n";
+  leodivide::bench::emit_json_line("extension_uplink_backhaul", timer.elapsed_ms());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "leodivide/stats/percentile.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Figure 1: un(der)served locations per service cell");
 
@@ -70,5 +71,6 @@ int main() {
             << io::fmt_pct(stats::top_share(counts, 0.10), 1) << '\n'
             << "  share held by top 50%:     "
             << io::fmt_pct(stats::top_share(counts, 0.50), 1) << '\n';
+  leodivide::bench::emit_json_line("fig1_cell_distribution", timer.elapsed_ms());
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "leodivide/core/served_fraction.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Figure 2: fraction of US cells served");
 
@@ -50,5 +51,6 @@ int main() {
   std::cout << "Cells fully covered requires low beamspread + high oversub: "
             << "served(s=2, o=30) = " << io::fmt(hi, 3)
             << " vs served(s=14, o=5) = " << io::fmt(lo, 3) << '\n';
+  leodivide::bench::emit_json_line("fig2_beamspread_oversub", timer.elapsed_ms());
   return 0;
 }

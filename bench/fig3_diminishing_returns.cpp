@@ -9,6 +9,7 @@
 #include "leodivide/core/longtail.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Figure 3: constellation size vs locations left unserved");
 
@@ -80,5 +81,6 @@ int main() {
                "thousands, depending on beamspread).\n"
             << "Total locations in the profile: "
             << io::fmt_count(static_cast<long long>(total)) << '\n';
+  leodivide::bench::emit_json_line("fig3_diminishing_returns", timer.elapsed_ms());
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "leodivide/afford/affordability.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Figure 4: locations unable to afford service");
 
@@ -78,5 +79,6 @@ int main() {
                "Residential plan at the 2% income rule; comparable plans "
                "from other ISPs are affordable for > 99.99% of these "
                "locations.\n";
+  leodivide::bench::emit_json_line("fig4_affordability", timer.elapsed_ms());
   return 0;
 }

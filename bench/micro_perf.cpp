@@ -1,10 +1,20 @@
 // google-benchmark microbenchmarks for the library's hot paths: hex
 // indexing, orbital propagation, visibility, demand aggregation and the
-// sizing sweep.
+// sizing sweep. With `--threads N` it instead runs the parallel-scaling
+// harness: aggregate >= 5M synthetic locations serially and on an
+// N-thread pool, check the outputs are byte-identical, and report the
+// speedup as JSON lines.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "leodivide/runtime/thread_pool.hpp"
 
 #include "leodivide/core/longtail.hpp"
 #include "leodivide/core/sizing.hpp"
@@ -178,6 +188,87 @@ void BM_OptimalSlotBound(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalSlotBound);
 
+std::string profile_bytes(const demand::DemandProfile& profile) {
+  std::ostringstream cells, counties;
+  profile.save_csv(cells, counties);
+  return cells.str() + '\x1f' + counties.str();
+}
+
+// Aggregates `dataset` once on `executor` and returns {wall_ms, csv bytes}.
+std::pair<double, std::string> timed_aggregate(
+    const demand::DemandDataset& dataset, const hex::HexGrid& grid,
+    runtime::Executor& executor) {
+  const bench::WallTimer timer;
+  const auto profile = demand::aggregate(dataset, grid, 5, executor);
+  const double ms = timer.elapsed_ms();
+  return {ms, profile_bytes(profile)};
+}
+
+// The `--threads N` scaling harness. Returns the process exit code.
+int run_scaling_harness(std::size_t threads) {
+  bench::banner("micro_perf: aggregation scaling, 1 vs " +
+                std::to_string(threads) + " threads");
+
+  // Build a >= 5M location dataset: the full-scale national expansion
+  // (~4.7M underserved locations) plus a 10% re-expansion appended on top.
+  const demand::SyntheticGenerator gen({.seed = 3, .scale = 1.0});
+  const auto profile = gen.generate_profile();
+  const auto full = gen.expand_locations(profile, 1.0);
+  const auto extra = gen.expand_locations(profile, 0.1);
+  std::vector<demand::Location> locations = full.locations();
+  locations.insert(locations.end(), extra.locations().begin(),
+                   extra.locations().end());
+  const demand::DemandDataset dataset(std::move(locations), full.counties());
+  std::cout << "  dataset:  " << dataset.size() << " locations\n";
+
+  const hex::HexGrid grid;
+  runtime::ThreadPool pool(threads);
+
+  const auto [serial_ms, serial_bytes] =
+      timed_aggregate(dataset, grid, runtime::serial_executor());
+  const auto [pool_ms, pool_bytes] = timed_aggregate(dataset, grid, pool);
+
+  std::cout << "  serial:   " << serial_ms << " ms\n"
+            << "  threads=" << threads << ": " << pool_ms << " ms\n"
+            << "  speedup:  " << serial_ms / pool_ms << "x\n";
+  bench::emit_json_line("micro_perf.aggregate", serial_ms, 1);
+  bench::emit_json_line("micro_perf.aggregate", pool_ms, threads);
+
+  if (serial_bytes != pool_bytes) {
+    std::cerr << "FAIL: N=1 and N=" << threads
+              << " DemandProfile outputs differ\n";
+    return 1;
+  }
+  std::cout << "  outputs:  byte-identical across thread counts\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --threads N / --threads=N before google-benchmark sees the
+  // command line (it rejects flags it does not own).
+  std::size_t threads = 0;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (threads > 0) return run_scaling_harness(threads);
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

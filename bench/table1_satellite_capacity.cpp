@@ -10,6 +10,7 @@
 #include "leodivide/spectrum/linkbudget.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Table 1: Starlink single-satellite capacity model");
 
@@ -91,5 +92,6 @@ int main() {
                 io::fmt_pct(f1.servable_fraction_at_cap),
                 bench::rel_err(f1.servable_fraction_at_cap, 0.9989)});
   std::cout << ftab.render();
+  leodivide::bench::emit_json_line("table1_satellite_capacity", timer.elapsed_ms());
   return 0;
 }

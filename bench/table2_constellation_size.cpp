@@ -12,6 +12,7 @@
 #include "leodivide/demand/calibration.hpp"
 
 int main() {
+  const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Table 2: predicted constellation size");
 
@@ -83,5 +84,6 @@ int main() {
             << io::fmt_count(std::llround(at_s2 - 8000.0))
             << " more than the ~8,000 deployed today; paper: >40,000 total, "
                ">32,000 additional).\n";
+  leodivide::bench::emit_json_line("table2_constellation_size", timer.elapsed_ms());
   return 0;
 }

@@ -1,26 +1,44 @@
 // National analysis: the full paper pipeline with dataset persistence.
 //
-//   $ ./national_analysis [output_dir]
+//   $ ./national_analysis [--threads N] [output_dir]
 //
 // Generates the calibrated national profile, saves it as CSV (cells +
 // counties) so it can be inspected or replaced with a real FCC Broadband
 // Data Collection extract, reloads it, runs the complete analysis, and
-// writes a machine-readable JSON summary next to the CSVs.
+// writes a machine-readable JSON summary next to the CSVs. `--threads N`
+// sizes the process-global executor (results are identical for every N).
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "leodivide/core/report.hpp"
 #include "leodivide/demand/generator.hpp"
 #include "leodivide/demand/geojson.hpp"
 #include "leodivide/io/json.hpp"
+#include "leodivide/runtime/executor.hpp"
 
 int main(int argc, char** argv) {
   using namespace leodivide;
   namespace fs = std::filesystem;
 
-  const fs::path out_dir = argc > 1 ? argv[1] : "national_analysis_out";
+  fs::path out_dir = "national_analysis_out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      runtime::set_global_threads(
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      runtime::set_global_threads(
+          static_cast<std::size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10)));
+    } else {
+      out_dir = arg;
+    }
+  }
+  std::cout << "using " << runtime::global_executor().concurrency()
+            << " thread(s)\n";
   fs::create_directories(out_dir);
 
   // 1. Generate and persist the dataset.

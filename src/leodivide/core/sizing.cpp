@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "leodivide/orbit/density.hpp"
+#include "leodivide/runtime/map_reduce.hpp"
 
 namespace leodivide::core {
 
@@ -49,28 +50,47 @@ SizingResult size_full_service(const demand::DemandProfile& profile,
 
 SizingResult size_with_cap(const demand::DemandProfile& profile,
                            const SizingModel& model, double beamspread,
-                           double oversub_cap) {
+                           double oversub_cap, runtime::Executor& executor) {
   if (profile.cell_count() == 0) {
     throw std::invalid_argument("size_with_cap: empty profile");
   }
   const std::uint32_t cap_locs = model.capacity.max_locations_at(oversub_cap);
-  SizingResult best;
-  bool found = false;
-  for (std::size_t i = 0; i < profile.cell_count(); ++i) {
-    const auto& cell = profile.cells()[i];
-    const std::uint32_t served = std::min(cell.underserved, cap_locs);
-    const std::uint32_t beams = model.capacity.beams_needed(served, oversub_cap);
-    if (beams < 2) continue;  // demand-driven binding requires >= 2 beams
-    const double sats = satellites_for_binding_cell(
-        model, cell.center.lat_deg, beamspread, beams);
-    if (!found || sats > best.satellites) {
-      found = true;
-      best.satellites = sats;
-      best.binding_lat_deg = cell.center.lat_deg;
-      best.beams_on_binding = beams;
-      best.binding_cell_index = i;
-    }
-  }
+  // Sharded first-strict-max over the cells: each shard keeps its earliest
+  // maximum and the in-order merge keeps the globally earliest, so the
+  // binding cell matches the serial scan for every thread count.
+  struct Shard {
+    SizingResult best;
+    bool found = false;
+  };
+  const Shard reduced = runtime::map_reduce<Shard>(
+      executor, 0, profile.cell_count(),
+      [&](Shard& shard, std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& cell = profile.cells()[i];
+          const std::uint32_t served = std::min(cell.underserved, cap_locs);
+          const std::uint32_t beams =
+              model.capacity.beams_needed(served, oversub_cap);
+          if (beams < 2) continue;  // demand-driven binding needs >= 2 beams
+          const double sats = satellites_for_binding_cell(
+              model, cell.center.lat_deg, beamspread, beams);
+          if (!shard.found || sats > shard.best.satellites) {
+            shard.found = true;
+            shard.best.satellites = sats;
+            shard.best.binding_lat_deg = cell.center.lat_deg;
+            shard.best.beams_on_binding = beams;
+            shard.best.binding_cell_index = i;
+          }
+        }
+      },
+      [](Shard& into, Shard&& from) {
+        if (from.found &&
+            (!into.found || from.best.satellites > into.best.satellites)) {
+          into = from;
+        }
+      },
+      /*grain=*/1024);
+  SizingResult best = reduced.best;
+  const bool found = reduced.found;
   if (!found) {
     // No cell needs more than one beam at this cap: the peak cell binds
     // with a single beam.
@@ -83,6 +103,13 @@ SizingResult size_with_cap(const demand::DemandProfile& profile,
                                                   beamspread, 1);
   }
   return best;
+}
+
+SizingResult size_with_cap(const demand::DemandProfile& profile,
+                           const SizingModel& model, double beamspread,
+                           double oversub_cap) {
+  return size_with_cap(profile, model, beamspread, oversub_cap,
+                       runtime::global_executor());
 }
 
 }  // namespace leodivide::core

@@ -21,6 +21,10 @@
 #include "leodivide/core/capacity_model.hpp"
 #include "leodivide/hex/hexgrid.hpp"
 
+namespace leodivide::runtime {
+class Executor;
+}
+
 namespace leodivide::core {
 
 /// Sizing parameters beyond the capacity model.
@@ -68,6 +72,16 @@ struct SizingResult {
 /// beams_needed(served, cap) beams, and the binding cell is the
 /// demand-driven (>= 2 beams) cell maximising the satellite requirement.
 /// Falls back to the peak cell when no cell needs more than one beam.
+/// The per-cell sweep runs as a sharded first-strict-max reduction over
+/// `executor`; the selected binding cell is identical for every thread
+/// count (earliest cell wins exact ties, as in the serial scan).
+[[nodiscard]] SizingResult size_with_cap(const demand::DemandProfile& profile,
+                                         const SizingModel& model,
+                                         double beamspread,
+                                         double oversub_cap,
+                                         runtime::Executor& executor);
+
+/// As above, on the process-global executor (LEODIVIDE_THREADS).
 [[nodiscard]] SizingResult size_with_cap(const demand::DemandProfile& profile,
                                          const SizingModel& model,
                                          double beamspread,

@@ -3,22 +3,49 @@
 #include <map>
 #include <unordered_map>
 
+#include "leodivide/runtime/map_reduce.hpp"
+
 namespace leodivide::demand {
 
+namespace {
+
+// Locations per map-reduce work item: large enough that shard bookkeeping
+// is negligible next to the per-location cell_of projection.
+constexpr std::size_t kAggregateGrain = 8192;
+
+}  // namespace
+
 DemandProfile aggregate(const DemandDataset& dataset, const hex::HexGrid& grid,
-                        int resolution) {
+                        int resolution, runtime::Executor& executor) {
   struct Bucket {
     std::uint32_t count = 0;
     std::unordered_map<std::uint32_t, std::uint32_t> by_county;
   };
-  // std::map keeps cell order deterministic across runs.
-  std::map<hex::CellId, Bucket> buckets;
-  for (const auto& loc : dataset.locations()) {
-    if (!loc.underserved()) continue;
-    Bucket& b = buckets[grid.cell_of(loc.position, resolution)];
-    ++b.count;
-    ++b.by_county[loc.county_index];
-  }
+  // std::map keeps cell order deterministic across runs and thread counts.
+  using CellMap = std::map<hex::CellId, Bucket>;
+
+  const auto& locations = dataset.locations();
+  const CellMap buckets = runtime::map_reduce<CellMap>(
+      executor, 0, locations.size(),
+      [&](CellMap& shard, std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& loc = locations[i];
+          if (!loc.underserved()) continue;
+          Bucket& b = shard[grid.cell_of(loc.position, resolution)];
+          ++b.count;
+          ++b.by_county[loc.county_index];
+        }
+      },
+      [](CellMap& into, CellMap&& from) {
+        for (auto& [id, bucket] : from) {
+          Bucket& dst = into[id];
+          dst.count += bucket.count;
+          for (const auto& [county, n] : bucket.by_county) {
+            dst.by_county[county] += n;
+          }
+        }
+      },
+      kAggregateGrain);
 
   std::vector<County> counties = dataset.counties().all();
   for (auto& c : counties) c.underserved_locations = 0;
@@ -45,6 +72,11 @@ DemandProfile aggregate(const DemandDataset& dataset, const hex::HexGrid& grid,
     }
   }
   return DemandProfile(std::move(cells), CountyTable(std::move(counties)));
+}
+
+DemandProfile aggregate(const DemandDataset& dataset, const hex::HexGrid& grid,
+                        int resolution) {
+  return aggregate(dataset, grid, resolution, runtime::global_executor());
 }
 
 }  // namespace leodivide::demand

@@ -5,6 +5,10 @@
 #include "leodivide/demand/dataset.hpp"
 #include "leodivide/hex/hexgrid.hpp"
 
+namespace leodivide::runtime {
+class Executor;
+}
+
 namespace leodivide::demand {
 
 /// Aggregates a location dataset to a cell-level profile at `resolution`.
@@ -12,6 +16,17 @@ namespace leodivide::demand {
 /// best-case model: demand comes solely from un(der)served locations). Each
 /// cell's county is the county contributing the most locations to it.
 /// County underserved totals are recomputed from the aggregation.
+///
+/// Bucketing runs as a sharded map-reduce over `executor`: each worker
+/// fills a thread-local ordered cell map over a contiguous location slice
+/// and the shards are merged in shard order, so the profile is bit-identical
+/// for every thread count (including the serial path).
+[[nodiscard]] DemandProfile aggregate(const DemandDataset& dataset,
+                                      const hex::HexGrid& grid,
+                                      int resolution,
+                                      runtime::Executor& executor);
+
+/// As above, on the process-global executor (LEODIVIDE_THREADS).
 [[nodiscard]] DemandProfile aggregate(const DemandDataset& dataset,
                                       const hex::HexGrid& grid,
                                       int resolution);

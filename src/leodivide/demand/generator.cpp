@@ -10,6 +10,8 @@
 #include "leodivide/geo/greatcircle.hpp"
 #include "leodivide/geo/us_outline.hpp"
 #include "leodivide/hex/polyfill.hpp"
+#include "leodivide/runtime/map_reduce.hpp"
+#include "leodivide/runtime/rng_split.hpp"
 #include "leodivide/stats/distributions.hpp"
 #include "leodivide/stats/rng.hpp"
 
@@ -33,6 +35,39 @@ std::vector<std::size_t> shuffled_indices(std::size_t n, std::uint64_t seed) {
     std::swap(idx[i - 1], idx[j]);
   }
   return idx;
+}
+
+// Index of the nearest not-yet-taken region cell to `target`. A sharded
+// first-strict-min reduction: every shard keeps its first minimum and the
+// in-order merge keeps the earliest, matching the serial scan exactly.
+std::size_t nearest_free_cell(const hex::HexGrid& grid,
+                              const std::vector<hex::CellId>& region,
+                              const std::vector<bool>& taken,
+                              const geo::GeoPoint& target,
+                              runtime::Executor& executor) {
+  struct Best {
+    double d = 1e30;
+    std::size_t i = 0;
+    bool found = false;
+  };
+  const Best best = runtime::map_reduce<Best>(
+      executor, 0, region.size(),
+      [&](Best& shard, std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (taken[i]) continue;
+          const double d = geo::distance_km(grid.center_of(region[i]), target);
+          if (!shard.found || d < shard.d) {
+            shard.d = d;
+            shard.i = i;
+            shard.found = true;
+          }
+        }
+      },
+      [](Best& into, Best&& from) {
+        if (from.found && (!into.found || from.d < into.d)) into = from;
+      },
+      /*grain=*/512);
+  return best.found ? best.i : region.size();
 }
 
 }  // namespace
@@ -63,10 +98,11 @@ std::array<geo::GeoPoint, 5> SyntheticGenerator::planted_targets(
           geo::GeoPoint{40.6, -78.4}};      // 3750: central PA
 }
 
-DemandProfile SyntheticGenerator::generate_profile() const {
+DemandProfile SyntheticGenerator::generate_profile(
+    runtime::Executor& executor) const {
   const hex::HexGrid grid;
   const auto region =
-      hex::polyfill(grid, geo::conus_outline(), config_.resolution);
+      hex::polyfill(grid, geo::conus_outline(), config_.resolution, executor);
   if (region.empty()) {
     throw std::runtime_error("SyntheticGenerator: empty region polyfill");
   }
@@ -130,16 +166,10 @@ DemandProfile SyntheticGenerator::generate_profile() const {
     const auto targets = planted_targets(config_.resolution);
     for (std::size_t k = 0; k < targets.size(); ++k) {
       // Nearest unassigned region cell to the target point.
-      std::size_t best = region.size();
-      double best_d = 1e30;
-      for (std::size_t i = 0; i < region.size(); ++i) {
-        if (taken[i]) continue;
-        const double d =
-            geo::distance_km(grid.center_of(region[i]), targets[k]);
-        if (d < best_d) {
-          best_d = d;
-          best = i;
-        }
+      const std::size_t best =
+          nearest_free_cell(grid, region, taken, targets[k], executor);
+      if (best == region.size()) {
+        throw std::runtime_error("SyntheticGenerator: ran out of cells");
       }
       taken[best] = true;
       cells.push_back(CellDemand{region[best], grid.center_of(region[best]),
@@ -245,61 +275,86 @@ DemandProfile SyntheticGenerator::generate_profile() const {
   return DemandProfile(std::move(cells), std::move(counties));
 }
 
+DemandProfile SyntheticGenerator::generate_profile() const {
+  return generate_profile(runtime::global_executor());
+}
+
 DemandDataset SyntheticGenerator::expand_locations(
-    const DemandProfile& profile, double sample_fraction) const {
+    const DemandProfile& profile, double sample_fraction,
+    runtime::Executor& executor) const {
   if (sample_fraction <= 0.0 || sample_fraction > 1.0) {
     throw std::invalid_argument("expand_locations: fraction outside (0, 1]");
   }
   const hex::HexGrid grid;
   const double circumradius = hex::edge_length_km(config_.resolution);
-  std::vector<Location> locations;
-  std::uint64_t next_id = 1;
-  stats::Pcg32 rng(config_.seed, /*stream=*/2);
+  const auto& cells = profile.cells();
 
-  for (const auto& cell : profile.cells()) {
-    const auto want = static_cast<std::uint32_t>(std::ceil(
-        static_cast<double>(cell.underserved) * sample_fraction));
-    for (std::uint32_t k = 0; k < want; ++k) {
-      // Rejection-sample a point inside the hexagon.
-      geo::GeoPoint pos = cell.center;
-      for (int attempt = 0; attempt < 16; ++attempt) {
-        const double ang = stats::sample_uniform(rng, 0.0, 360.0);
-        const double rad =
-            circumradius * std::sqrt(rng.next_double());
-        const geo::GeoPoint candidate =
-            geo::destination(cell.center, ang, rad);
-        if (grid.cell_of(candidate, config_.resolution) == cell.cell) {
-          pos = candidate;
-          break;
-        }
-      }
-      Location loc;
-      loc.id = next_id++;
-      loc.position = pos;
-      loc.county_index = cell.county_index;
-      // Best-offer mix for un(der)served locations: all fail 100/20.
-      const double u = rng.next_double();
-      if (u < 0.15) {
-        loc.technology = Technology::kNone;
-        loc.best_offer = {0.0, 0.0};
-      } else if (u < 0.50) {
-        loc.technology = Technology::kDsl;
-        loc.best_offer = {25.0, 3.0};
-      } else if (u < 0.75) {
-        loc.technology = Technology::kFixedWireless;
-        loc.best_offer = {50.0, 10.0};
-      } else if (u < 0.85) {
-        loc.technology = Technology::kGeoSatellite;
-        loc.best_offer = {100.0, 3.0};
-      } else {
-        loc.technology = Technology::kCable;
-        loc.best_offer = {100.0, 10.0};
-      }
-      locations.push_back(loc);
-    }
+  // Per-cell location counts and output offsets, so every cell owns a fixed
+  // slice of the output and a fixed id range regardless of thread count.
+  std::vector<std::uint64_t> offset(cells.size() + 1, 0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    offset[i + 1] = offset[i] + static_cast<std::uint64_t>(std::ceil(
+        static_cast<double>(cells[i].underserved) * sample_fraction));
   }
+  std::vector<Location> locations(offset.back());
+
+  runtime::parallel_for_each(
+      executor, 0, cells.size(),
+      [&](std::size_t ci) {
+        const auto& cell = cells[ci];
+        // Split RNG stream per cell: draws depend only on (seed, cell
+        // index), never on scheduling.
+        stats::Pcg32 rng(runtime::split_seed(config_.seed, ci), /*stream=*/2);
+        const auto want =
+            static_cast<std::uint32_t>(offset[ci + 1] - offset[ci]);
+        for (std::uint32_t k = 0; k < want; ++k) {
+          // Rejection-sample a point inside the hexagon.
+          geo::GeoPoint pos = cell.center;
+          for (int attempt = 0; attempt < 16; ++attempt) {
+            const double ang = stats::sample_uniform(rng, 0.0, 360.0);
+            const double rad =
+                circumradius * std::sqrt(rng.next_double());
+            const geo::GeoPoint candidate =
+                geo::destination(cell.center, ang, rad);
+            if (grid.cell_of(candidate, config_.resolution) == cell.cell) {
+              pos = candidate;
+              break;
+            }
+          }
+          Location loc;
+          loc.id = offset[ci] + k + 1;
+          loc.position = pos;
+          loc.county_index = cell.county_index;
+          // Best-offer mix for un(der)served locations: all fail 100/20.
+          const double u = rng.next_double();
+          if (u < 0.15) {
+            loc.technology = Technology::kNone;
+            loc.best_offer = {0.0, 0.0};
+          } else if (u < 0.50) {
+            loc.technology = Technology::kDsl;
+            loc.best_offer = {25.0, 3.0};
+          } else if (u < 0.75) {
+            loc.technology = Technology::kFixedWireless;
+            loc.best_offer = {50.0, 10.0};
+          } else if (u < 0.85) {
+            loc.technology = Technology::kGeoSatellite;
+            loc.best_offer = {100.0, 3.0};
+          } else {
+            loc.technology = Technology::kCable;
+            loc.best_offer = {100.0, 10.0};
+          }
+          locations[offset[ci] + k] = loc;
+        }
+      });
+
   CountyTable counties(profile.counties().all());
   return DemandDataset(std::move(locations), std::move(counties));
+}
+
+DemandDataset SyntheticGenerator::expand_locations(
+    const DemandProfile& profile, double sample_fraction) const {
+  return expand_locations(profile, sample_fraction,
+                          runtime::global_executor());
 }
 
 }  // namespace leodivide::demand

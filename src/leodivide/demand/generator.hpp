@@ -3,13 +3,20 @@
 // optionally a location-level DemandDataset) over real CONUS geography whose
 // per-cell count distribution and location-weighted county income
 // distribution match every statistic the paper reports (see calibration.hpp
-// and DESIGN.md). Generation is deterministic for a given config.
+// and DESIGN.md). Generation is deterministic for a given config: location
+// synthesis draws from per-cell RNG streams split off the seed with
+// SplitMix64 (runtime/rng_split.hpp), so the output is byte-identical for
+// every executor thread count.
 
 #include <array>
 #include <cstdint>
 
 #include "leodivide/demand/dataset.hpp"
 #include "leodivide/hex/hexgrid.hpp"
+
+namespace leodivide::runtime {
+class Executor;
+}
 
 namespace leodivide::demand {
 
@@ -43,11 +50,24 @@ class SyntheticGenerator {
   explicit SyntheticGenerator(GeneratorConfig config = {});
 
   /// Cell-level profile: per-cell un(der)served counts + county incomes.
+  /// Runs the CONUS polyfill and peak-cell placement scans on `executor`;
+  /// the profile is byte-identical for every thread count.
+  [[nodiscard]] DemandProfile generate_profile(
+      runtime::Executor& executor) const;
+
+  /// As above, on the process-global executor (LEODIVIDE_THREADS).
   [[nodiscard]] DemandProfile generate_profile() const;
 
   /// Expands a profile to individual locations. `sample_fraction` in (0,1]
   /// keeps that fraction of each cell's locations (rounded up), for
-  /// memory-bounded tests.
+  /// memory-bounded tests. Cells are filled in parallel on `executor`, each
+  /// from its own split RNG stream into a precomputed slice, so ids,
+  /// positions and offers are byte-identical for every thread count.
+  [[nodiscard]] DemandDataset expand_locations(const DemandProfile& profile,
+                                               double sample_fraction,
+                                               runtime::Executor& executor) const;
+
+  /// As above, on the process-global executor.
   [[nodiscard]] DemandDataset expand_locations(
       const DemandProfile& profile, double sample_fraction = 1.0) const;
 

@@ -3,18 +3,24 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 
 #include "leodivide/hex/traversal.hpp"
+#include "leodivide/runtime/map_reduce.hpp"
 
 namespace leodivide::hex {
 
 namespace {
 
 // Scans an axial-coordinate window that covers the box's projected extent
-// and keeps cells whose centers satisfy `inside`.
+// and keeps cells whose centers satisfy `inside`. The window is split into
+// contiguous q-column blocks across the executor; each shard emits its
+// cells in (q, r) scan order and shards concatenate in q order, so the
+// result equals the serial scan exactly.
 std::vector<CellId> scan(
     const HexGrid& grid, const geo::BoundingBox& box, int resolution,
-    const std::function<bool(const geo::GeoPoint&)>& inside) {
+    const std::function<bool(const geo::GeoPoint&)>& inside,
+    runtime::Executor& executor) {
   // Project the box corners plus edge midpoints to bound the axial window.
   std::vector<geo::GeoPoint> probes{
       {box.lat_min, box.lon_min}, {box.lat_min, box.lon_max},
@@ -34,28 +40,50 @@ std::vector<CellId> scan(
   }
   // Pad by one cell: centers near edges may round outward.
   --q_lo; ++q_hi; --r_lo; ++r_hi;
-  std::vector<CellId> out;
-  for (std::int32_t q = q_lo; q <= q_hi; ++q) {
-    for (std::int32_t r = r_lo; r <= r_hi; ++r) {
-      const CellId id(resolution, HexCoord{q, r});
-      if (inside(grid.center_of(id))) out.push_back(id);
-    }
-  }
-  return out;
+  const auto columns =
+      static_cast<std::size_t>(static_cast<std::int64_t>(q_hi) - q_lo + 1);
+  return runtime::map_reduce<std::vector<CellId>>(
+      executor, 0, columns,
+      [&](std::vector<CellId>& shard, std::size_t lo, std::size_t hi,
+          std::size_t) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          const auto q = static_cast<std::int32_t>(q_lo + static_cast<std::int64_t>(c));
+          for (std::int32_t r = r_lo; r <= r_hi; ++r) {
+            const CellId id(resolution, HexCoord{q, r});
+            if (inside(grid.center_of(id))) shard.push_back(id);
+          }
+        }
+      },
+      [](std::vector<CellId>& into, std::vector<CellId>&& from) {
+        into.insert(into.end(), std::make_move_iterator(from.begin()),
+                    std::make_move_iterator(from.end()));
+      });
 }
 
 }  // namespace
 
 std::vector<CellId> polyfill(const HexGrid& grid, const geo::Polygon& poly,
-                             int resolution) {
+                             int resolution, runtime::Executor& executor) {
   return scan(grid, poly.bbox(), resolution,
-              [&poly](const geo::GeoPoint& p) { return poly.contains(p); });
+              [&poly](const geo::GeoPoint& p) { return poly.contains(p); },
+              executor);
+}
+
+std::vector<CellId> polyfill(const HexGrid& grid, const geo::BoundingBox& box,
+                             int resolution, runtime::Executor& executor) {
+  return scan(grid, box, resolution,
+              [&box](const geo::GeoPoint& p) { return box.contains(p); },
+              executor);
+}
+
+std::vector<CellId> polyfill(const HexGrid& grid, const geo::Polygon& poly,
+                             int resolution) {
+  return polyfill(grid, poly, resolution, runtime::global_executor());
 }
 
 std::vector<CellId> polyfill(const HexGrid& grid, const geo::BoundingBox& box,
                              int resolution) {
-  return scan(grid, box, resolution,
-              [&box](const geo::GeoPoint& p) { return box.contains(p); });
+  return polyfill(grid, box, resolution, runtime::global_executor());
 }
 
 }  // namespace leodivide::hex

@@ -9,14 +9,31 @@
 #include "leodivide/hex/cellid.hpp"
 #include "leodivide/hex/hexgrid.hpp"
 
+namespace leodivide::runtime {
+class Executor;
+}
+
 namespace leodivide::hex {
 
-/// All cells at `resolution` whose centers lie inside the polygon.
+/// All cells at `resolution` whose centers lie inside the polygon. The
+/// candidate axial window is scanned in parallel over `executor`, one
+/// contiguous block of q-columns per shard, with shards concatenated in
+/// order — the output sequence is identical for every thread count.
+[[nodiscard]] std::vector<CellId> polyfill(const HexGrid& grid,
+                                           const geo::Polygon& poly,
+                                           int resolution,
+                                           runtime::Executor& executor);
+
+/// All cells at `resolution` whose centers lie inside the bounding box.
+[[nodiscard]] std::vector<CellId> polyfill(const HexGrid& grid,
+                                           const geo::BoundingBox& box,
+                                           int resolution,
+                                           runtime::Executor& executor);
+
+/// Overloads on the process-global executor (LEODIVIDE_THREADS).
 [[nodiscard]] std::vector<CellId> polyfill(const HexGrid& grid,
                                            const geo::Polygon& poly,
                                            int resolution);
-
-/// All cells at `resolution` whose centers lie inside the bounding box.
 [[nodiscard]] std::vector<CellId> polyfill(const HexGrid& grid,
                                            const geo::BoundingBox& box,
                                            int resolution);

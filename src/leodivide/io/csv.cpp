@@ -44,25 +44,52 @@ CsvRow parse_csv_line(std::string_view line) {
 
 CsvReader::CsvReader(std::istream& in) : in_(in) {}
 
+namespace {
+
+// Advances the RFC-4180 quote state across one physical-line chunk. A
+// doubled quote inside a quoted field is an escape and leaves the state
+// unchanged; any other quote toggles it. Escape pairs are adjacent bytes,
+// so they can never straddle a chunk boundary (the boundary is a newline
+// in the field's content) — scanning chunk-by-chunk with carried state is
+// therefore exact, unlike total-quote-parity recounts, and costs O(chunk)
+// per chunk instead of O(record) per re-join.
+bool scan_quote_state(std::string_view chunk, bool in_quotes) {
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    if (chunk[i] != '"') continue;
+    if (in_quotes && i + 1 < chunk.size() && chunk[i + 1] == '"') {
+      ++i;  // escaped "" pair: stay inside the quoted field
+    } else {
+      in_quotes = !in_quotes;
+    }
+  }
+  return in_quotes;
+}
+
+}  // namespace
+
 bool CsvReader::next(CsvRow& row) {
   std::string line;
   while (std::getline(in_, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // A trailing CR is the first half of a CRLF terminator. Strip it for
+    // the record boundary, but remember it: if this newline turns out to be
+    // *inside* a quoted field, the CRLF belongs to the field's content and
+    // is restored verbatim on re-join.
+    bool crlf = !line.empty() && line.back() == '\r';
+    if (crlf) line.pop_back();
     if (line.empty()) continue;
-    // Re-join lines while a quoted field spans newlines.
-    while (true) {
-      std::size_t quotes = 0;
-      for (char c : line) {
-        if (c == '"') ++quotes;
-      }
-      if (quotes % 2 == 0) break;
+    // Re-join physical lines while a quoted field spans the newline.
+    bool in_quotes = scan_quote_state(line, false);
+    while (in_quotes) {
       std::string more;
       if (!std::getline(in_, more)) {
         throw std::runtime_error("CSV: unterminated quoted record at EOF");
       }
-      if (!more.empty() && more.back() == '\r') more.pop_back();
-      line.push_back('\n');
+      const bool more_crlf = !more.empty() && more.back() == '\r';
+      if (more_crlf) more.pop_back();
+      line.append(crlf ? "\r\n" : "\n");
+      in_quotes = scan_quote_state(more, in_quotes);
       line.append(more);
+      crlf = more_crlf;
     }
     row = parse_csv_line(line);
     ++count_;

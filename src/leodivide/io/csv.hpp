@@ -20,7 +20,9 @@ using CsvRow = std::vector<std::string>;
 [[nodiscard]] CsvRow parse_csv_line(std::string_view line);
 
 /// Streaming CSV reader over an istream. Supports quoted fields containing
-/// commas, escaped quotes, and embedded newlines; skips blank lines.
+/// commas, escaped quotes, and embedded newlines (LF and CRLF are both
+/// preserved exactly inside quoted fields); skips blank lines. CRLF record
+/// terminators are accepted and normalised away.
 class CsvReader {
  public:
   explicit CsvReader(std::istream& in);

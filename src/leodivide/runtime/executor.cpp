@@ -1,0 +1,75 @@
+#include "leodivide/runtime/executor.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "leodivide/runtime/thread_pool.hpp"
+
+namespace leodivide::runtime {
+
+namespace {
+
+class SerialExecutor final : public Executor {
+ public:
+  [[nodiscard]] std::size_t concurrency() const noexcept override { return 1; }
+
+  void run_tasks(std::size_t n,
+                 const std::function<void(std::size_t)>& task) override {
+    // In-order inline execution; a throwing task aborts the batch exactly
+    // like the pre-runtime serial loops did (the first throw is necessarily
+    // the lowest-indexed one).
+    for (std::size_t i = 0; i < n; ++i) task(i);
+  }
+};
+
+struct GlobalState {
+  std::mutex m;
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t threads = 0;  // 0 = not yet resolved
+};
+
+GlobalState& global_state() {
+  static GlobalState state;
+  return state;
+}
+
+}  // namespace
+
+Executor& serial_executor() {
+  static SerialExecutor exec;
+  return exec;
+}
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("LEODIVIDE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+Executor& global_executor() {
+  GlobalState& state = global_state();
+  std::lock_guard<std::mutex> lk(state.m);
+  if (state.threads == 0) state.threads = default_thread_count();
+  if (state.threads == 1) return serial_executor();
+  if (!state.pool || state.pool->concurrency() != state.threads) {
+    state.pool = std::make_unique<ThreadPool>(state.threads);
+  }
+  return *state.pool;
+}
+
+void set_global_threads(std::size_t threads) {
+  GlobalState& state = global_state();
+  std::lock_guard<std::mutex> lk(state.m);
+  state.threads = threads == 0 ? default_thread_count() : threads;
+  if (state.pool && state.pool->concurrency() != state.threads) {
+    state.pool.reset();
+  }
+}
+
+}  // namespace leodivide::runtime

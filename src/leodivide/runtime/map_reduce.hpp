@@ -1,0 +1,54 @@
+#pragma once
+// Sharded map-reduce: each worker fills a thread-local shard over a
+// contiguous slice of the input range, then shards are merged *in shard
+// index order* on the calling thread. Because a shard covers a contiguous,
+// in-order slice and merging preserves shard order, the result is
+// bit-identical to the serial path for the merge algebras the library uses:
+//
+//   * ordered concatenation (shard = vector, merge = append): the output is
+//     exactly the serial scan order, regardless of thread count;
+//   * keyed integer accumulation (shard = std::map<K, counts>, merge = +=):
+//     addition of unsigned counts is associative, so any contiguous
+//     partition yields the same final map;
+//   * first-strict-max reduction (shard = running best with strict '>'):
+//     each shard keeps its first maximum, and an in-order merge with the
+//     same strict comparison selects the globally first maximum.
+//
+// With one chunk (serial executor, tiny inputs) the fill runs directly on
+// the result object on the calling thread — literally the old serial loop.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "leodivide/runtime/parallel_for.hpp"
+
+namespace leodivide::runtime {
+
+/// fill(shard, lo, hi, shard_index) populates `shard` from input slice
+/// [lo, hi); merge(into, std::move(from)) folds a later shard into an
+/// earlier one. Returns the fold of all shards in index order.
+template <typename Shard, typename Fill, typename Merge>
+[[nodiscard]] Shard map_reduce(Executor& ex, std::size_t begin,
+                               std::size_t end, const Fill& fill,
+                               const Merge& merge, std::size_t grain = 1) {
+  Shard result{};
+  if (end <= begin) return result;
+  const std::size_t chunks = chunk_count(ex, end - begin, grain);
+  if (chunks == 1) {
+    fill(result, begin, end, std::size_t{0});
+    return result;
+  }
+  std::vector<Shard> shards(chunks);
+  ex.run_tasks(chunks, [&](std::size_t i) {
+    const ChunkRange r = chunk_range(begin, end, chunks, i);
+    fill(shards[i], r.lo, r.hi, i);
+  });
+  result = std::move(shards[0]);
+  for (std::size_t i = 1; i < chunks; ++i) {
+    merge(result, std::move(shards[i]));
+  }
+  return result;
+}
+
+}  // namespace leodivide::runtime

@@ -1,0 +1,77 @@
+#pragma once
+// parallel_for: static contiguous chunking of an index range over an
+// Executor. The range [begin, end) is split into at most concurrency()
+// chunks of near-equal size (never smaller than `grain` except the last
+// resort single chunk); `body(lo, hi)` is invoked once per chunk with
+// disjoint, in-order ranges that exactly cover [begin, end).
+//
+// Chunk *boundaries* depend on the executor's concurrency, so bodies must
+// be range-oblivious (the effect of body(lo, hi) must equal the effect of
+// body(lo, m) then body(m, hi)) for results to be thread-count invariant —
+// which holds for the disjoint-writes and commutative-accumulation patterns
+// used throughout the library. Exceptions propagate per the Executor
+// contract (lowest-indexed chunk wins).
+
+#include <algorithm>
+#include <cstddef>
+
+#include "leodivide/runtime/executor.hpp"
+
+namespace leodivide::runtime {
+
+/// Number of chunks parallel_for would use for `n` items at `grain`.
+[[nodiscard]] inline std::size_t chunk_count(const Executor& ex, std::size_t n,
+                                             std::size_t grain) noexcept {
+  if (n == 0) return 0;
+  const std::size_t g = grain < 1 ? 1 : grain;
+  return std::max<std::size_t>(
+      1, std::min(ex.concurrency(), (n + g - 1) / g));
+}
+
+/// Splits [begin, end) into `chunks` near-equal contiguous ranges and
+/// returns chunk `i` as [lo, hi).
+struct ChunkRange {
+  std::size_t lo;
+  std::size_t hi;
+};
+[[nodiscard]] inline ChunkRange chunk_range(std::size_t begin, std::size_t end,
+                                            std::size_t chunks,
+                                            std::size_t i) noexcept {
+  const std::size_t n = end - begin;
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  const std::size_t lo = begin + i * base + std::min(i, rem);
+  return {lo, lo + base + (i < rem ? 1 : 0)};
+}
+
+/// Runs body(lo, hi) over a static chunking of [begin, end). `body` may be
+/// invoked concurrently from several threads and must tolerate that (the
+/// library's bodies write disjoint outputs or fill thread-local shards).
+template <typename Body>
+void parallel_for(Executor& ex, std::size_t begin, std::size_t end,
+                  const Body& body, std::size_t grain = 1) {
+  if (end <= begin) return;
+  const std::size_t chunks = chunk_count(ex, end - begin, grain);
+  if (chunks == 1) {
+    body(begin, end);  // the exact serial code path
+    return;
+  }
+  ex.run_tasks(chunks, [&](std::size_t i) {
+    const ChunkRange r = chunk_range(begin, end, chunks, i);
+    body(r.lo, r.hi);
+  });
+}
+
+/// Per-index convenience wrapper: body(i) for each i in [begin, end).
+template <typename Body>
+void parallel_for_each(Executor& ex, std::size_t begin, std::size_t end,
+                       const Body& body, std::size_t grain = 1) {
+  parallel_for(
+      ex, begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+}  // namespace leodivide::runtime

@@ -1,0 +1,23 @@
+#pragma once
+// Deterministic RNG splitting for parallel generation. A shard (or any
+// stable entity index) gets its own statistically-independent seed derived
+// from the global seed by SplitMix64, so generated output depends only on
+// (seed, shard) — never on thread count or scheduling order.
+
+#include <cstdint>
+
+#include "leodivide/stats/rng.hpp"
+
+namespace leodivide::runtime {
+
+/// Independent per-shard seed: one SplitMix64 step over a combination of
+/// the global seed and the shard index. Deterministic and collision-
+/// resistant across shards (SplitMix64 is a bijective finalizer).
+[[nodiscard]] inline std::uint64_t split_seed(std::uint64_t seed,
+                                              std::uint64_t shard) noexcept {
+  stats::SplitMix64 mixer(seed ^
+                          (shard + 1) * 0x9e3779b97f4a7c15ULL);
+  return mixer();
+}
+
+}  // namespace leodivide::runtime

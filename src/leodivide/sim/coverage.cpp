@@ -1,6 +1,9 @@
 #include "leodivide/sim/coverage.hpp"
 
+#include <stdexcept>
 #include <unordered_set>
+
+#include "leodivide/runtime/parallel_for.hpp"
 
 namespace leodivide::sim {
 
@@ -17,6 +20,20 @@ EpochCoverage summarize_epoch(const ScheduleResult& schedule,
   for (const auto& a : schedule.assignments) sats.insert(a.sat);
   out.satellites_in_view = sats.size();
   return out;
+}
+
+std::vector<EpochCoverage> summarize_epochs(
+    const std::vector<ScheduleResult>& schedules, std::size_t cells_total,
+    const std::vector<double>& times, runtime::Executor& executor) {
+  if (schedules.size() != times.size()) {
+    throw std::invalid_argument(
+        "summarize_epochs: schedules/times length mismatch");
+  }
+  std::vector<EpochCoverage> trace(schedules.size());
+  runtime::parallel_for_each(executor, 0, schedules.size(), [&](std::size_t e) {
+    trace[e] = summarize_epoch(schedules[e], cells_total, times[e]);
+  });
+  return trace;
 }
 
 }  // namespace leodivide::sim

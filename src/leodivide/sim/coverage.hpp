@@ -2,8 +2,13 @@
 // Per-epoch coverage statistics derived from a schedule.
 
 #include <cstdint>
+#include <vector>
 
 #include "leodivide/sim/scheduler.hpp"
+
+namespace leodivide::runtime {
+class Executor;
+}
 
 namespace leodivide::sim {
 
@@ -35,5 +40,14 @@ struct EpochCoverage {
 [[nodiscard]] EpochCoverage summarize_epoch(const ScheduleResult& schedule,
                                             std::size_t cells_total,
                                             double time_s);
+
+/// Summarises a whole trace of per-epoch schedules in parallel over
+/// `executor`. Epoch e of the result is summarize_epoch(schedules[e],
+/// cells_total, times[e]); epochs are independent, so the trace is
+/// identical for every thread count. `times` must match `schedules` in
+/// length.
+[[nodiscard]] std::vector<EpochCoverage> summarize_epochs(
+    const std::vector<ScheduleResult>& schedules, std::size_t cells_total,
+    const std::vector<double>& times, runtime::Executor& executor);
 
 }  // namespace leodivide::sim

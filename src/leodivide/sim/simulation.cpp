@@ -1,5 +1,7 @@
 #include "leodivide/sim/simulation.hpp"
 
+#include "leodivide/runtime/parallel_for.hpp"
+
 namespace leodivide::sim {
 
 Simulation::Simulation(SimulationConfig config,
@@ -11,17 +13,22 @@ Simulation::Simulation(SimulationConfig config,
                  config.scheduler),
       orbits_(orbit::make_constellation(config.shell)) {}
 
-std::vector<EpochCoverage> Simulation::run() const {
+std::vector<EpochCoverage> Simulation::run(
+    runtime::Executor& executor) const {
   const SimClock clock(config_.duration_s, config_.step_s);
-  std::vector<EpochCoverage> trace;
-  trace.reserve(clock.epochs());
-  for (std::size_t e = 0; e < clock.epochs(); ++e) {
-    const double t = clock.time_at(e);
-    const auto states = orbit::propagate_all(orbits_, t);
-    const auto schedule = scheduler_.schedule(states);
-    trace.push_back(summarize_epoch(schedule, scheduler_.cells().size(), t));
-  }
-  return trace;
+  std::vector<double> times(clock.epochs());
+  std::vector<ScheduleResult> schedules(clock.epochs());
+  runtime::parallel_for_each(executor, 0, clock.epochs(), [&](std::size_t e) {
+    times[e] = clock.time_at(e);
+    const auto states = orbit::propagate_all(orbits_, times[e]);
+    schedules[e] = scheduler_.schedule(states);
+  });
+  return summarize_epochs(schedules, scheduler_.cells().size(), times,
+                          executor);
+}
+
+std::vector<EpochCoverage> Simulation::run() const {
+  return run(runtime::global_executor());
 }
 
 SimulationReport Simulation::run_report() const { return summarize(run()); }

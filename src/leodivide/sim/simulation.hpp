@@ -9,6 +9,10 @@
 #include "leodivide/sim/metrics.hpp"
 #include "leodivide/sim/scheduler.hpp"
 
+namespace leodivide::runtime {
+class Executor;
+}
+
 namespace leodivide::sim {
 
 /// Simulation parameters.
@@ -26,7 +30,14 @@ class Simulation {
   Simulation(SimulationConfig config, const demand::DemandProfile& profile,
              const core::SatelliteCapacityModel& model = {});
 
-  /// Runs every epoch; returns the per-epoch trace.
+  /// Runs every epoch; returns the per-epoch trace. Epochs are mutually
+  /// independent (propagate → schedule → summarize), so they run in
+  /// parallel over `executor` with each epoch writing its own trace slot —
+  /// the trace is identical for every thread count.
+  [[nodiscard]] std::vector<EpochCoverage> run(
+      runtime::Executor& executor) const;
+
+  /// As above, on the process-global executor (LEODIVIDE_THREADS).
   [[nodiscard]] std::vector<EpochCoverage> run() const;
 
   /// Runs and reduces to a report.

@@ -68,6 +68,95 @@ TEST(CsvReader, QuotedFieldSpanningNewline) {
   EXPECT_EQ(row[1], "x");
 }
 
+TEST(CsvReader, EscapedQuotePairAtRejoinBoundary) {
+  // The field content is  a"  then a newline then  b : the escaped "" pair
+  // sits at the very end of the first physical line, immediately before the
+  // re-join boundary.
+  std::istringstream in("\"a\"\"\nb\",x\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  ASSERT_EQ(row.size(), 2U);
+  EXPECT_EQ(row[0], "a\"\nb");
+  EXPECT_EQ(row[1], "x");
+}
+
+TEST(CsvReader, EscapedQuotePairStartsContinuationLine) {
+  // Content  a  newline  "b : the continuation line *begins* with an
+  // escaped "" pair while the quote state is still open.
+  std::istringstream in("\"a\n\"\"b\",x\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  ASSERT_EQ(row.size(), 2U);
+  EXPECT_EQ(row[0], "a\n\"b");
+  EXPECT_EQ(row[1], "x");
+}
+
+TEST(CsvReader, QuotedCommasAcrossRejoinedLines) {
+  std::istringstream in("\"x,y\nz,w\",\"p,q\"\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  ASSERT_EQ(row.size(), 2U);
+  EXPECT_EQ(row[0], "x,y\nz,w");
+  EXPECT_EQ(row[1], "p,q");
+}
+
+TEST(CsvReader, EmbeddedCrlfInsideQuotedFieldIsPreserved) {
+  // CRLF inside a quoted field is field content (RFC 4180) and must survive
+  // the re-join byte-for-byte; CRLF *record terminators* are normalised.
+  std::istringstream in("\"a\r\nb\",x\r\n1,2\r\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  ASSERT_EQ(row.size(), 2U);
+  EXPECT_EQ(row[0], "a\r\nb");
+  EXPECT_EQ(row[1], "x");
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[0], "1");
+  EXPECT_FALSE(reader.next(row));
+}
+
+TEST(CsvReader, ConsecutiveEmbeddedNewlines) {
+  std::istringstream in("\"a\n\nb\",x\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row[0], "a\n\nb");
+  std::istringstream crlf_in("\"a\r\n\r\nb\",x\n");
+  CsvReader crlf_reader(crlf_in);
+  ASSERT_TRUE(crlf_reader.next(row));
+  EXPECT_EQ(row[0], "a\r\n\r\nb");
+}
+
+TEST(CsvReader, BareCarriageReturnInsideQuotedField) {
+  // A CR that is not part of a CRLF sequence is plain field content.
+  std::istringstream in("\"a\rb\",\"c\r\"\n");
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  ASSERT_EQ(row.size(), 2U);
+  EXPECT_EQ(row[0], "a\rb");
+  EXPECT_EQ(row[1], "c\r");
+}
+
+TEST(CsvRoundTrip, CrlfAndQuoteHeavyContentSurvives) {
+  const CsvRow original{"a\r\nb", "say \"\"hi\"\"", "tail\"", "\r", ",\n,"};
+  std::ostringstream out;
+  {
+    CsvWriter writer(out);
+    writer.write_row(original);
+  }
+  std::istringstream in(out.str());
+  CsvReader reader(in);
+  CsvRow row;
+  ASSERT_TRUE(reader.next(row));
+  ASSERT_EQ(row.size(), original.size());
+  for (std::size_t i = 0; i < row.size(); ++i) EXPECT_EQ(row[i], original[i]);
+  EXPECT_FALSE(reader.next(row));
+}
+
 TEST(CsvEscape, QuotesOnlyWhenNeeded) {
   EXPECT_EQ(csv_escape("plain"), "plain");
   EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
@@ -235,10 +324,9 @@ namespace leodivide::io {
 namespace {
 
 std::string random_field(stats::Pcg32& rng) {
-  // No '\r': the reader normalises CRLF line endings, so a bare carriage
-  // return adjacent to a newline inside a quoted field would not survive
-  // (a documented normalisation, not a bug).
-  static constexpr char kAlphabet[] = "abcXYZ019 ,\"\n\t;|-_";
+  // '\r' included: the reader preserves CR (and CRLF) inside quoted fields
+  // exactly, so arbitrary CR/LF mixtures must round-trip.
+  static constexpr char kAlphabet[] = "abcXYZ019 ,\"\r\n\t;|-_";
   const std::uint32_t len = 1 + rng.next_below(11);
   std::string out;
   for (std::uint32_t i = 0; i < len; ++i) {
