@@ -17,7 +17,8 @@
 #include "leodivide/sim/maxflow.hpp"
 #include "leodivide/sim/simulation.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Ablation (a): analytic vs propagated satellite density");

@@ -22,7 +22,8 @@ double headline(const core::SizingModel& model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   bench::banner(
       "Ablation: sensitivity of F2 (satellites at beamspread 2, 20:1)");

@@ -11,7 +11,8 @@
 #include "leodivide/core/sizing.hpp"
 #include "leodivide/orbit/shells.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Ablation: shell inclination vs required fleet");

@@ -1,6 +1,8 @@
 #pragma once
 // Shared plumbing for the per-table/per-figure bench binaries: the national
-// calibrated profile (generated once) and paper-vs-measured row helpers.
+// calibrated profile (generated once), paper-vs-measured row helpers, and
+// the observability session every bench main opens (env vars
+// LEODIVIDE_TRACE/LEODIVIDE_METRICS plus --trace/--metrics flags).
 
 #include <chrono>
 #include <cstdio>
@@ -10,9 +12,34 @@
 #include "leodivide/core/scenario.hpp"
 #include "leodivide/demand/generator.hpp"
 #include "leodivide/io/table.hpp"
+#include "leodivide/obs/obs.hpp"
 #include "leodivide/runtime/executor.hpp"
 
 namespace leodivide::bench {
+
+/// RAII observability session for a bench binary: reads the env vars,
+/// consumes any --trace/--metrics argv flags, enables the requested
+/// facilities, and writes the trace/metrics files when the bench exits.
+///
+///   int main(int argc, char** argv) {
+///     leodivide::bench::ObsGuard obs_guard(argc, argv);
+///     ...
+///   }
+class ObsGuard {
+ public:
+  ObsGuard(int argc, char** argv) : options_(obs::options_from_env()) {
+    for (int i = 1; i < argc; ++i) {
+      (void)obs::parse_cli_arg(options_, argc, argv, i);
+    }
+    obs::apply(options_);
+  }
+  ~ObsGuard() { obs::finalize(options_); }
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+
+ private:
+  obs::Options options_;
+};
 
 /// Monotonic wall-clock timer for whole-bench timing.
 class WallTimer {
@@ -30,17 +57,16 @@ class WallTimer {
 };
 
 /// Emits the machine-readable result line every bench binary ends with:
-///   {"bench": "<name>", "threads": N, "wall_ms": X}
-/// `threads` defaults to the process-global executor's concurrency, so the
-/// line reflects LEODIVIDE_THREADS / --threads without extra plumbing.
+///   {"bench":"<name>","threads":N,"wall_ms":X}
+/// plus a `"stages":{...}` per-stage wall-time breakdown when metrics are
+/// enabled. `threads` defaults to the process-global executor's concurrency,
+/// so the line reflects LEODIVIDE_THREADS / --threads without extra plumbing.
+/// Built via the obs JSON emitter, so arbitrarily long names and embedded
+/// quotes are escaped instead of truncated.
 inline void emit_json_line(const std::string& bench, double wall_ms,
                            std::size_t threads =
                                runtime::global_executor().concurrency()) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "{\"bench\": \"%s\", \"threads\": %zu, \"wall_ms\": %.3f}",
-                bench.c_str(), threads, wall_ms);
-  std::cout << buf << std::endl;
+  std::cout << obs::bench_line_json(bench, threads, wall_ms) << std::endl;
 }
 
 /// The full-scale calibrated national demand profile (deterministic).

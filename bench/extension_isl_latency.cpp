@@ -14,7 +14,8 @@
 #include "leodivide/orbit/isl.hpp"
 #include "leodivide/stats/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Extension: bent-pipe latency, LEO vs GEO");

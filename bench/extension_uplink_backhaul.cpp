@@ -11,7 +11,8 @@
 #include "leodivide/geo/us_outline.hpp"
 #include "leodivide/sim/gateway.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Extension (a): uplink vs downlink at the peak cell");

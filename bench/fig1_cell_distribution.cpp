@@ -10,7 +10,8 @@
 #include "leodivide/stats/lorenz.hpp"
 #include "leodivide/stats/percentile.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Figure 1: un(der)served locations per service cell");

@@ -7,7 +7,8 @@
 #include "bench_common.hpp"
 #include "leodivide/core/served_fraction.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Figure 2: fraction of US cells served");

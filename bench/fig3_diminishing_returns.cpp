@@ -8,7 +8,8 @@
 #include "bench_common.hpp"
 #include "leodivide/core/longtail.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Figure 3: constellation size vs locations left unserved");

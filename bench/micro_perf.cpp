@@ -224,15 +224,21 @@ int run_scaling_harness(std::size_t threads) {
   const hex::HexGrid grid;
   runtime::ThreadPool pool(threads);
 
+  // Stage timers feed the "stages" member of each emitted JSON line; the
+  // registry is reset between runs so every line is a per-run breakdown.
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_values();
   const auto [serial_ms, serial_bytes] =
       timed_aggregate(dataset, grid, runtime::serial_executor());
+  bench::emit_json_line("micro_perf.aggregate", serial_ms, 1);
+
+  obs::registry().reset_values();
   const auto [pool_ms, pool_bytes] = timed_aggregate(dataset, grid, pool);
+  bench::emit_json_line("micro_perf.aggregate", pool_ms, threads);
 
   std::cout << "  serial:   " << serial_ms << " ms\n"
             << "  threads=" << threads << ": " << pool_ms << " ms\n"
             << "  speedup:  " << serial_ms / pool_ms << "x\n";
-  bench::emit_json_line("micro_perf.aggregate", serial_ms, 1);
-  bench::emit_json_line("micro_perf.aggregate", pool_ms, threads);
 
   if (serial_bytes != pool_bytes) {
     std::cerr << "FAIL: N=1 and N=" << threads
@@ -246,8 +252,11 @@ int run_scaling_harness(std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --threads N / --threads=N before google-benchmark sees the
-  // command line (it rejects flags it does not own).
+  // Peel off --threads N / --threads=N and the observability flags before
+  // google-benchmark sees the command line (it rejects flags it does not
+  // own).
+  namespace obs = leodivide::obs;
+  obs::Options obs_options = obs::options_from_env();
   std::size_t threads = 0;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -257,18 +266,27 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<std::size_t>(
           std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (obs::parse_cli_arg(obs_options, argc, argv, i)) {
+      // Observability flag; consumed.
     } else {
       args.push_back(argv[i]);
     }
   }
-  if (threads > 0) return run_scaling_harness(threads);
+  obs::apply(obs_options);
 
-  int bench_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&bench_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
-    return 1;
+  int rc = 0;
+  if (threads > 0) {
+    rc = run_scaling_harness(threads);
+  } else {
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+      rc = 1;
+    } else {
+      benchmark::RunSpecifiedBenchmarks();
+      benchmark::Shutdown();
+    }
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  obs::finalize(obs_options);
+  return rc;
 }

@@ -9,7 +9,8 @@
 #include "leodivide/core/report.hpp"
 #include "leodivide/spectrum/linkbudget.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const leodivide::bench::ObsGuard obs_guard(argc, argv);
   const leodivide::bench::WallTimer timer;
   using namespace leodivide;
   bench::banner("Table 1: Starlink single-satellite capacity model");

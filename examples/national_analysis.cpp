@@ -1,14 +1,18 @@
 // National analysis: the full paper pipeline with dataset persistence.
 //
-//   $ ./national_analysis [--threads N] [output_dir]
+//   $ ./national_analysis [--threads N] [--trace FILE] [--metrics[=FILE]]
+//                         [output_dir]
 //
 // Generates the calibrated national profile, saves it as CSV (cells +
 // counties) so it can be inspected or replaced with a real FCC Broadband
 // Data Collection extract, reloads it, runs the complete analysis, and
 // writes a machine-readable JSON summary next to the CSVs. `--threads N`
 // sizes the process-global executor (results are identical for every N).
+// `--trace FILE` writes a Chrome trace-event JSON of the pipeline stages
+// and `--metrics[=FILE]` dumps the metrics registry at exit (see
+// README.md, "Observability"); LEODIVIDE_TRACE / LEODIVIDE_METRICS work
+// too.
 
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -18,25 +22,38 @@
 #include "leodivide/demand/generator.hpp"
 #include "leodivide/demand/geojson.hpp"
 #include "leodivide/io/json.hpp"
+#include "leodivide/obs/obs.hpp"
 #include "leodivide/runtime/executor.hpp"
 
 int main(int argc, char** argv) {
   using namespace leodivide;
   namespace fs = std::filesystem;
 
+  obs::Options obs_options = obs::options_from_env();
   fs::path out_dir = "national_analysis_out";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
-      runtime::set_global_threads(
-          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10)));
+      if (const auto n = runtime::parse_thread_count(argv[++i])) {
+        runtime::set_global_threads(*n);
+      } else {
+        std::cerr << "invalid --threads value: " << argv[i] << '\n';
+        return 2;
+      }
     } else if (arg.rfind("--threads=", 0) == 0) {
-      runtime::set_global_threads(
-          static_cast<std::size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10)));
+      if (const auto n = runtime::parse_thread_count(arg.substr(10))) {
+        runtime::set_global_threads(*n);
+      } else {
+        std::cerr << "invalid --threads value: " << arg.substr(10) << '\n';
+        return 2;
+      }
+    } else if (obs::parse_cli_arg(obs_options, argc, argv, i)) {
+      // Observability flag; consumed.
     } else {
       out_dir = arg;
     }
   }
+  obs::apply(obs_options);
   std::cout << "using " << runtime::global_executor().concurrency()
             << " thread(s)\n";
   fs::create_directories(out_dir);
@@ -112,5 +129,6 @@ int main(int argc, char** argv) {
     std::cout << "      wrote " << (out_dir / "dense_cells.geojson")
               << " (cells with >= 1000 un(der)served locations)\n";
   }
+  obs::finalize(obs_options);
   return 0;
 }

@@ -1,10 +1,13 @@
 #include "leodivide/core/scenario.hpp"
 
+#include "leodivide/obs/trace.hpp"
+
 namespace leodivide::core {
 
 AnalysisResults run_full_analysis(const demand::DemandProfile& profile,
                                   const SizingModel& model,
                                   const AnalysisConfig& config) {
+  const obs::Span span("core.run_full_analysis");
   AnalysisResults out;
   out.table1 = model.capacity.table1(profile);
   out.f1 = analyze_oversubscription(profile, model.capacity,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
 #include "leodivide/orbit/density.hpp"
 #include "leodivide/runtime/map_reduce.hpp"
 
@@ -53,6 +55,12 @@ SizingResult size_with_cap(const demand::DemandProfile& profile,
                            double oversub_cap, runtime::Executor& executor) {
   if (profile.cell_count() == 0) {
     throw std::invalid_argument("size_with_cap: empty profile");
+  }
+  const obs::Span span("core.size_with_cap");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& cells =
+        obs::registry().counter("core.size_with_cap.cells");
+    cells.add(profile.cell_count());
   }
   const std::uint32_t cap_locs = model.capacity.max_locations_at(oversub_cap);
   // Sharded first-strict-max over the cells: each shard keeps its earliest

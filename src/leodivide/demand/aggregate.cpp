@@ -3,6 +3,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
 #include "leodivide/runtime/map_reduce.hpp"
 
 namespace leodivide::demand {
@@ -17,6 +19,12 @@ constexpr std::size_t kAggregateGrain = 8192;
 
 DemandProfile aggregate(const DemandDataset& dataset, const hex::HexGrid& grid,
                         int resolution, runtime::Executor& executor) {
+  const obs::Span span("demand.aggregate");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& locations =
+        obs::registry().counter("demand.aggregate.locations");
+    locations.add(dataset.locations().size());
+  }
   struct Bucket {
     std::uint32_t count = 0;
     std::unordered_map<std::uint32_t, std::uint32_t> by_county;

@@ -10,6 +10,8 @@
 #include "leodivide/geo/greatcircle.hpp"
 #include "leodivide/geo/us_outline.hpp"
 #include "leodivide/hex/polyfill.hpp"
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
 #include "leodivide/runtime/map_reduce.hpp"
 #include "leodivide/runtime/rng_split.hpp"
 #include "leodivide/stats/distributions.hpp"
@@ -100,6 +102,7 @@ std::array<geo::GeoPoint, 5> SyntheticGenerator::planted_targets(
 
 DemandProfile SyntheticGenerator::generate_profile(
     runtime::Executor& executor) const {
+  const obs::Span obs_span("demand.generate_profile");
   const hex::HexGrid grid;
   const auto region =
       hex::polyfill(grid, geo::conus_outline(), config_.resolution, executor);
@@ -272,6 +275,11 @@ DemandProfile SyntheticGenerator::generate_profile(
         grid.parent_of(cell.cell, config_.county_resolution));
   }
 
+  if (obs::metrics_enabled()) {
+    static obs::Counter& generated =
+        obs::registry().counter("demand.cells_generated");
+    generated.add(cells.size());
+  }
   return DemandProfile(std::move(cells), std::move(counties));
 }
 
@@ -285,6 +293,7 @@ DemandDataset SyntheticGenerator::expand_locations(
   if (sample_fraction <= 0.0 || sample_fraction > 1.0) {
     throw std::invalid_argument("expand_locations: fraction outside (0, 1]");
   }
+  const obs::Span obs_span("demand.expand_locations");
   const hex::HexGrid grid;
   const double circumradius = hex::edge_length_km(config_.resolution);
   const auto& cells = profile.cells();
@@ -347,6 +356,11 @@ DemandDataset SyntheticGenerator::expand_locations(
         }
       });
 
+  if (obs::metrics_enabled()) {
+    static obs::Counter& expanded =
+        obs::registry().counter("demand.locations_expanded");
+    expanded.add(locations.size());
+  }
   CountyTable counties(profile.counties().all());
   return DemandDataset(std::move(locations), std::move(counties));
 }

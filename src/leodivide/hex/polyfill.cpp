@@ -6,6 +6,8 @@
 #include <iterator>
 
 #include "leodivide/hex/traversal.hpp"
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
 #include "leodivide/runtime/map_reduce.hpp"
 
 namespace leodivide::hex {
@@ -21,6 +23,7 @@ std::vector<CellId> scan(
     const HexGrid& grid, const geo::BoundingBox& box, int resolution,
     const std::function<bool(const geo::GeoPoint&)>& inside,
     runtime::Executor& executor) {
+  const obs::Span span("hex.polyfill");
   // Project the box corners plus edge midpoints to bound the axial window.
   std::vector<geo::GeoPoint> probes{
       {box.lat_min, box.lon_min}, {box.lat_min, box.lon_max},
@@ -42,7 +45,7 @@ std::vector<CellId> scan(
   --q_lo; ++q_hi; --r_lo; ++r_hi;
   const auto columns =
       static_cast<std::size_t>(static_cast<std::int64_t>(q_hi) - q_lo + 1);
-  return runtime::map_reduce<std::vector<CellId>>(
+  auto cells = runtime::map_reduce<std::vector<CellId>>(
       executor, 0, columns,
       [&](std::vector<CellId>& shard, std::size_t lo, std::size_t hi,
           std::size_t) {
@@ -58,6 +61,17 @@ std::vector<CellId> scan(
         into.insert(into.end(), std::make_move_iterator(from.begin()),
                     std::make_move_iterator(from.end()));
       });
+  if (obs::metrics_enabled()) {
+    static obs::Counter& kept =
+        obs::registry().counter("hex.polyfill.cells_kept");
+    static obs::Counter& scanned =
+        obs::registry().counter("hex.polyfill.cells_scanned");
+    kept.add(cells.size());
+    scanned.add(columns *
+                static_cast<std::size_t>(static_cast<std::int64_t>(r_hi) -
+                                         r_lo + 1));
+  }
+  return cells;
 }
 
 }  // namespace

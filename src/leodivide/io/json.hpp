@@ -1,11 +1,16 @@
 #pragma once
-// Minimal JSON writer (objects, arrays, numbers, strings, bools). Bench
-// binaries export machine-readable results next to their console tables so
-// downstream plotting scripts can regenerate the paper's figures.
+// Minimal JSON writer (objects, arrays, numbers, strings, bools) and a
+// strict recursive-descent parser. Bench binaries export machine-readable
+// results next to their console tables so downstream plotting scripts can
+// regenerate the paper's figures; the parser lets tests and tools validate
+// those lines and the obs/ trace files without external dependencies.
 
 #include <iosfwd>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace leodivide::io {
@@ -57,5 +62,45 @@ class JsonWriter {
   std::vector<Frame> stack_;
   std::vector<bool> has_items_;
 };
+
+/// Thrown by json_parse on malformed input, with a byte offset in what().
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed JSON document node. Numbers are held as double (adequate for
+/// every value the library emits); object member order is preserved.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> items;                            ///< arrays
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< objects
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+
+  /// First member with `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// find() that throws JsonParseError when the member is missing.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws JsonParseError on malformed input.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
 
 }  // namespace leodivide::io

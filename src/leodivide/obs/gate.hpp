@@ -1,0 +1,55 @@
+#pragma once
+// The observability on/off gate. Every obs hook in a hot path starts with a
+// single relaxed atomic load and a branch; with both facilities disabled the
+// hook does nothing else, so the instrumented pipeline keeps its exact
+// serial/parallel behaviour and byte-identical output (asserted in
+// tests/test_obs.cpp). Tracing and metrics are gated independently:
+// tracing feeds the Chrome-trace recorder, metrics feed the registry.
+
+#include <atomic>
+#include <cstdint>
+
+namespace leodivide::obs {
+
+enum ObsBits : std::uint8_t {
+  kTraceBit = 0x1,
+  kMetricsBit = 0x2,
+};
+
+namespace detail {
+inline std::atomic<std::uint8_t> g_flags{0};
+}  // namespace detail
+
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return (detail::g_flags.load(std::memory_order_relaxed) & kTraceBit) != 0;
+}
+
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return (detail::g_flags.load(std::memory_order_relaxed) & kMetricsBit) != 0;
+}
+
+/// True when either facility is on — the one-load fast-path check used by
+/// hooks that serve both (spans).
+[[nodiscard]] inline bool observability_enabled() noexcept {
+  return detail::g_flags.load(std::memory_order_relaxed) != 0;
+}
+
+inline void set_tracing_enabled(bool on) noexcept {
+  if (on) {
+    detail::g_flags.fetch_or(kTraceBit, std::memory_order_relaxed);
+  } else {
+    detail::g_flags.fetch_and(
+        static_cast<std::uint8_t>(~kTraceBit), std::memory_order_relaxed);
+  }
+}
+
+inline void set_metrics_enabled(bool on) noexcept {
+  if (on) {
+    detail::g_flags.fetch_or(kMetricsBit, std::memory_order_relaxed);
+  } else {
+    detail::g_flags.fetch_and(
+        static_cast<std::uint8_t>(~kMetricsBit), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace leodivide::obs

@@ -1,0 +1,127 @@
+#include "leodivide/obs/obs.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "leodivide/io/json.hpp"
+
+namespace leodivide::obs {
+
+namespace {
+
+// Env value semantics: unset/""/"0" = off, "1" = on with the default sink,
+// anything else = on with the value as the output path.
+bool env_sink(const char* var, std::string& path) {
+  const char* v = std::getenv(var);
+  if (v == nullptr) return false;
+  const std::string s = v;
+  if (s.empty() || s == "0") return false;
+  if (s != "1") path = s;
+  return true;
+}
+
+}  // namespace
+
+Options options_from_env() {
+  Options opts;
+  opts.trace = env_sink("LEODIVIDE_TRACE", opts.trace_path);
+  opts.metrics = env_sink("LEODIVIDE_METRICS", opts.metrics_path);
+  return opts;
+}
+
+bool parse_cli_arg(Options& opts, int argc, char** argv, int& i) {
+  const std::string_view arg = argv[i];
+  if (arg == "--trace" && i + 1 < argc) {
+    opts.trace = true;
+    opts.trace_path = argv[++i];
+    return true;
+  }
+  if (arg.rfind("--trace=", 0) == 0) {
+    opts.trace = true;
+    opts.trace_path = std::string(arg.substr(8));
+    return true;
+  }
+  if (arg == "--metrics") {
+    opts.metrics = true;
+    return true;
+  }
+  if (arg.rfind("--metrics=", 0) == 0) {
+    opts.metrics = true;
+    opts.metrics_path = std::string(arg.substr(10));
+    return true;
+  }
+  return false;
+}
+
+void apply(const Options& opts) {
+  if (opts.trace) set_tracing_enabled(true);
+  if (opts.metrics) set_metrics_enabled(true);
+}
+
+void finalize(const Options& opts) {
+  if (opts.trace) {
+    std::ofstream out(opts.trace_path);
+    if (out) {
+      TraceRecorder::instance().write_chrome_trace(out);
+      std::cerr << "obs: wrote trace to " << opts.trace_path << " ("
+                << TraceRecorder::instance().event_count() << " events)\n";
+    } else {
+      std::cerr << "obs: could not open trace file " << opts.trace_path
+                << '\n';
+    }
+  }
+  if (opts.metrics) {
+    if (opts.metrics_path.empty()) {
+      registry().write_json(std::cout);
+    } else {
+      std::ofstream out(opts.metrics_path);
+      if (out) {
+        registry().write_json(out);
+        std::cerr << "obs: wrote metrics to " << opts.metrics_path << '\n';
+      } else {
+        std::cerr << "obs: could not open metrics file " << opts.metrics_path
+                  << '\n';
+      }
+    }
+  }
+}
+
+std::string stage_json() {
+  std::ostringstream os;
+  io::JsonWriter json(os, /*pretty=*/false);
+  json.begin_object();
+  for (const auto& [name, ms] : registry().stage_totals_ms()) {
+    json.value(name, ms);
+  }
+  json.end_object();
+  return os.str();
+}
+
+std::string bench_line_json(std::string_view bench, std::size_t threads,
+                            double wall_ms) {
+  std::ostringstream os;
+  io::JsonWriter json(os, /*pretty=*/false);
+  json.begin_object();
+  json.value("bench", bench);
+  json.value("threads", static_cast<long long>(threads));
+  json.value("wall_ms", wall_ms);
+  std::string stages;
+  if (metrics_enabled()) {
+    stages = stage_json();
+  }
+  json.end_object();
+  std::string line = os.str();
+  if (!stages.empty() && stages != "{}") {
+    // Splice the pre-rendered stages object in before the closing brace;
+    // JsonWriter has no raw-JSON member, and the object is already valid.
+    line.pop_back();
+    line += ",\"stages\":";
+    line += stages;
+    line += '}';
+  }
+  return line;
+}
+
+}  // namespace leodivide::obs

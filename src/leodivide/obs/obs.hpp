@@ -1,0 +1,63 @@
+#pragma once
+// Umbrella header + session plumbing for the observability subsystem.
+//
+// Enabling (any one of):
+//   * env:   LEODIVIDE_TRACE=1            trace to ./trace.json
+//            LEODIVIDE_TRACE=<path>       trace to <path>
+//            LEODIVIDE_METRICS=1          metrics dump to stdout at exit
+//            LEODIVIDE_METRICS=<path>     metrics JSON to <path>
+//   * CLI:   --trace <file> / --trace=<file>, --metrics / --metrics=<file>
+//     (binaries feed their argv through parse_cli_arg)
+//   * code:  obs::set_tracing_enabled / obs::set_metrics_enabled
+//
+// "0" or the empty string disable the corresponding env var. When neither
+// facility is enabled every hook in the pipeline reduces to one relaxed
+// atomic load and a branch, so output stays byte-identical (see
+// tests/test_obs.cpp).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "leodivide/obs/gate.hpp"
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
+
+namespace leodivide::obs {
+
+/// Resolved observability configuration for one process run.
+struct Options {
+  bool trace = false;
+  std::string trace_path = "trace.json";
+  bool metrics = false;
+  std::string metrics_path;  ///< empty => stdout
+};
+
+/// Reads LEODIVIDE_TRACE / LEODIVIDE_METRICS.
+[[nodiscard]] Options options_from_env();
+
+/// Consumes `--trace <file>`, `--trace=<file>`, `--metrics`,
+/// `--metrics=<file>` at argv[i], advancing i past a separate value
+/// argument. Returns true when argv[i] was an observability flag.
+bool parse_cli_arg(Options& opts, int argc, char** argv, int& i);
+
+/// Turns the facilities requested in `opts` on (never off, so code-level
+/// enables survive).
+void apply(const Options& opts);
+
+/// Writes the trace file and/or metrics dump requested in `opts`.
+void finalize(const Options& opts);
+
+/// The `"name": total_ms` stage-breakdown object (compact JSON) built from
+/// every registered stage timer, name-ordered. "{}" when nothing recorded.
+[[nodiscard]] std::string stage_json();
+
+/// One machine-readable bench result line:
+///   {"bench": "...", "threads": N, "wall_ms": X[, "stages": {...}]}
+/// The "stages" member appears when metrics are enabled and at least one
+/// stage timer fired. Built with unbounded strings — long bench names and
+/// large stage breakdowns never truncate.
+[[nodiscard]] std::string bench_line_json(std::string_view bench,
+                                          std::size_t threads, double wall_ms);
+
+}  // namespace leodivide::obs

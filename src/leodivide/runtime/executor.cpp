@@ -42,11 +42,26 @@ Executor& serial_executor() {
   return exec;
 }
 
+std::optional<std::size_t> parse_thread_count(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  if (text.empty()) return std::nullopt;
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;  // rejects "-3", "1e9", "+4"
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    if (value > kMaxThreads) return std::nullopt;
+  }
+  if (value < 1) return std::nullopt;
+  return value;
+}
+
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("LEODIVIDE_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+    if (const auto parsed = parse_thread_count(env)) return *parsed;
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : hc;

@@ -8,8 +8,23 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
+#include <string_view>
 
 namespace leodivide::runtime {
+
+/// Upper bound on an explicitly requested thread count. Requests above this
+/// are treated as malformed (fall back to the hardware default) rather than
+/// clamped — a 1e9-thread request is a configuration bug, not a wish.
+inline constexpr std::size_t kMaxThreads = 4096;
+
+/// Strict thread-count parser for LEODIVIDE_THREADS / --threads values.
+/// Accepts a decimal integer in [1, kMaxThreads] with optional surrounding
+/// whitespace; anything else — empty, non-numeric, trailing garbage
+/// ("1e9"), zero, negative, or out of range — returns std::nullopt so the
+/// caller falls back to the hardware default.
+[[nodiscard]] std::optional<std::size_t> parse_thread_count(
+    std::string_view text) noexcept;
 
 /// Abstract batch executor. run_tasks blocks until every task has finished,
 /// so callers never observe partially-completed batches.
@@ -35,9 +50,10 @@ class Executor {
 [[nodiscard]] Executor& serial_executor();
 
 /// Process-global executor, created lazily. Thread count comes from the
-/// LEODIVIDE_THREADS environment variable when set (clamped to >= 1),
-/// otherwise std::thread::hardware_concurrency(). A count of 1 yields the
-/// serial executor — no pool threads are ever started.
+/// LEODIVIDE_THREADS environment variable when it parses per
+/// parse_thread_count, otherwise std::thread::hardware_concurrency(). A
+/// count of 1 yields the serial executor — no pool threads are ever
+/// started.
 [[nodiscard]] Executor& global_executor();
 
 /// Replaces the process-global executor with one of `threads` workers

@@ -3,6 +3,9 @@
 #include <exception>
 #include <utility>
 
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
+
 namespace leodivide::runtime {
 
 // Shared state of one run_tasks batch. Lives on the caller's stack; workers
@@ -15,7 +18,29 @@ struct ThreadPool::Batch {
   std::size_t remaining = 0;
   std::exception_ptr error;
   std::size_t error_index = 0;
+  std::uint64_t enqueue_ns = 0;  ///< set only while observability is on
 };
+
+namespace {
+
+// Observability slow path: queue-wait accounting plus a per-worker span
+// around the task body. Runs the task exactly like the fast path — spans
+// only read the clock and append to thread-local buffers, so the batch
+// result is untouched.
+void run_task_instrumented(const std::function<void(std::size_t)>& task,
+                           std::uint64_t enqueue_ns, std::size_t index) {
+  if (obs::metrics_enabled() && enqueue_ns != 0) {
+    static obs::Histogram& queue_wait =
+        obs::registry().histogram("runtime.queue_wait_us");
+    const std::uint64_t now = obs::now_ns();
+    queue_wait.record_always_us(now > enqueue_ns ? (now - enqueue_ns) / 1000
+                                                 : 0);
+  }
+  obs::Span span("runtime.task");
+  task(index);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = threads < 1 ? 1 : threads;
@@ -43,7 +68,11 @@ std::size_t ThreadPool::concurrency() const noexcept {
 
 void ThreadPool::run_one(Batch& batch, std::size_t index) {
   try {
-    (*batch.task)(index);
+    if (obs::observability_enabled()) [[unlikely]] {
+      run_task_instrumented(*batch.task, batch.enqueue_ns, index);
+    } else {
+      (*batch.task)(index);
+    }
     std::lock_guard<std::mutex> lk(batch.m);
     if (--batch.remaining == 0) batch.done.notify_all();
   } catch (...) {
@@ -76,6 +105,9 @@ void ThreadPool::run_tasks(std::size_t n,
   Batch batch;
   batch.task = &task;
   batch.remaining = n;
+  if (obs::observability_enabled()) [[unlikely]] {
+    batch.enqueue_ns = obs::now_ns();
+  }
   {
     std::lock_guard<std::mutex> lk(mutex_);
     for (std::size_t i = 0; i < n; ++i) queue_.emplace_back(&batch, i);

@@ -1,5 +1,7 @@
 #include "leodivide/sim/simulation.hpp"
 
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
 #include "leodivide/runtime/parallel_for.hpp"
 
 namespace leodivide::sim {
@@ -15,10 +17,16 @@ Simulation::Simulation(SimulationConfig config,
 
 std::vector<EpochCoverage> Simulation::run(
     runtime::Executor& executor) const {
+  const obs::Span obs_span("sim.run");
   const SimClock clock(config_.duration_s, config_.step_s);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& epochs = obs::registry().counter("sim.epochs");
+    epochs.add(clock.epochs());
+  }
   std::vector<double> times(clock.epochs());
   std::vector<ScheduleResult> schedules(clock.epochs());
   runtime::parallel_for_each(executor, 0, clock.epochs(), [&](std::size_t e) {
+    const obs::Span epoch_span("sim.epoch");
     times[e] = clock.time_at(e);
     const auto states = orbit::propagate_all(orbits_, times[e]);
     schedules[e] = scheduler_.schedule(states);

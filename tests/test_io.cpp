@@ -314,6 +314,68 @@ TEST(JsonWriterTest, PrettyOutputHasNewlines) {
   EXPECT_NE(out.str().find('\n'), std::string::npos);
 }
 
+// ------------------------------------------------------------- json parse ----
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(json_parse("null").type, JsonValue::Type::kNull);
+  EXPECT_TRUE(json_parse("true").bool_v);
+  EXPECT_FALSE(json_parse("false").bool_v);
+  EXPECT_DOUBLE_EQ(json_parse("-12.5e2").num_v, -1250.0);
+  EXPECT_EQ(json_parse("\"a\\nb\"").str_v, "a\nb");
+}
+
+TEST(JsonParse, NestedContainers) {
+  const JsonValue v =
+      json_parse(R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.items.size(), 3U);
+  EXPECT_DOUBLE_EQ(a.items[1].num_v, 2.0);
+  EXPECT_EQ(a.items[2].at("b").str_v, "x");
+  EXPECT_EQ(v.at("c").at("d").type, JsonValue::Type::kNull);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), JsonParseError);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(json_parse("\"\\u0041\"").str_v, "A");
+  EXPECT_EQ(json_parse("\"\\u00e9\"").str_v, "\xc3\xa9");
+  EXPECT_EQ(json_parse("\"\\u20ac\"").str_v, "\xe2\x82\xac");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), JsonParseError);
+  EXPECT_THROW(json_parse("{"), JsonParseError);
+  EXPECT_THROW(json_parse("[1,]"), JsonParseError);
+  EXPECT_THROW(json_parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW(json_parse("01"), JsonParseError);
+  EXPECT_THROW(json_parse("nul"), JsonParseError);
+  EXPECT_THROW(json_parse("1 2"), JsonParseError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(json_parse("\"tab\tchar\""), JsonParseError);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out, /*pretty=*/false);
+    json.begin_object();
+    json.value("name", "quote \" and backslash \\");
+    json.value("n", 42LL);
+    json.begin_array("xs");
+    json.element(1.5);
+    json.element("two");
+    json.end_array();
+    json.end_object();
+  }
+  const JsonValue v = json_parse(out.str());
+  EXPECT_EQ(v.at("name").str_v, "quote \" and backslash \\");
+  EXPECT_DOUBLE_EQ(v.at("n").num_v, 42.0);
+  ASSERT_EQ(v.at("xs").items.size(), 2U);
+  EXPECT_EQ(v.at("xs").items[1].str_v, "two");
+}
+
 }  // namespace
 }  // namespace leodivide::io
 
@@ -373,6 +435,5 @@ TEST_P(CsvFuzzRoundTrip, ArbitraryContentSurvives) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzRoundTrip,
                          ::testing::Range<std::uint64_t>(1, 17));
-
 }  // namespace
 }  // namespace leodivide::io

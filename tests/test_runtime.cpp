@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -28,6 +29,45 @@
 namespace {
 
 using namespace leodivide;
+
+// ---------------------------------------------------------------------------
+// LEODIVIDE_THREADS parsing
+// ---------------------------------------------------------------------------
+
+TEST(ParseThreadCount, AcceptsPlainIntegers) {
+  EXPECT_EQ(runtime::parse_thread_count("1"), 1U);
+  EXPECT_EQ(runtime::parse_thread_count("4"), 4U);
+  EXPECT_EQ(runtime::parse_thread_count("128"), 128U);
+}
+
+TEST(ParseThreadCount, TrimsSurroundingWhitespace) {
+  EXPECT_EQ(runtime::parse_thread_count(" 8 "), 8U);
+  EXPECT_EQ(runtime::parse_thread_count("\t2\n"), 2U);
+}
+
+TEST(ParseThreadCount, RejectsMalformedInput) {
+  EXPECT_EQ(runtime::parse_thread_count("abc"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("-3"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("+4"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("1e9"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("4.5"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count(""), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("   "), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("4x"), std::nullopt);
+}
+
+TEST(ParseThreadCount, RejectsOutOfRangeValues) {
+  EXPECT_EQ(runtime::parse_thread_count("0"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("99999999"), std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count("18446744073709551617"),
+            std::nullopt);
+  EXPECT_EQ(runtime::parse_thread_count(
+                std::to_string(runtime::kMaxThreads)),
+            runtime::kMaxThreads);
+  EXPECT_EQ(runtime::parse_thread_count(
+                std::to_string(runtime::kMaxThreads + 1)),
+            std::nullopt);
+}
 
 // ---------------------------------------------------------------------------
 // ThreadPool / Executor contract

@@ -238,6 +238,26 @@ TEST(Metrics, RejectsEmptyTrace) {
   EXPECT_THROW(summarize({}), std::invalid_argument);
 }
 
+TEST(Metrics, SingleEpochCollapsesMinMeanMax) {
+  EpochCoverage e;
+  e.time_s = 60.0;
+  e.cells_total = 8;
+  e.cells_served = 6;
+  e.locations_total = 100;
+  e.locations_served = 40;
+  e.mean_beam_utilization = 0.7;
+  e.satellites_in_view = 9;
+  const SimulationReport r = summarize({e});
+  EXPECT_EQ(r.epochs, 1U);
+  EXPECT_DOUBLE_EQ(r.min_cell_coverage, 0.75);
+  EXPECT_DOUBLE_EQ(r.mean_cell_coverage, 0.75);
+  EXPECT_DOUBLE_EQ(r.max_cell_coverage, 0.75);
+  EXPECT_DOUBLE_EQ(r.min_location_coverage, 0.4);
+  EXPECT_DOUBLE_EQ(r.mean_location_coverage, 0.4);
+  EXPECT_DOUBLE_EQ(r.mean_beam_utilization, 0.7);
+  EXPECT_DOUBLE_EQ(r.mean_satellites_in_view, 9.0);
+}
+
 // ---------------------------------------------------------------- simulation ----
 
 TEST(SimulationTest, Shell1CoversSomethingButNotEverything) {
