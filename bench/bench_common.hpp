@@ -78,6 +78,7 @@ inline const demand::DemandProfile& national_profile() {
 
 /// Relative error rendered as a percentage string ("+0.05%").
 inline std::string rel_err(double measured, double paper) {
+  // leolint:allow(float-eq): exact-zero guard before relative error
   if (paper == 0.0) return "n/a";
   const double e = (measured - paper) / paper * 100.0;
   char buf[32];

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "leodivide/afford/affordability.hpp"
@@ -50,9 +51,10 @@ int main(int argc, char** argv) {
   table.add_row({"unable @2%, w/ Lifeline $110.75", "~3.0M",
                  io::fmt_count(std::llround(lifeline.locations_unable)),
                  bench::rel_err(lifeline.locations_unable, 2.97e6)});
+  std::string income_needed = "$";
+  income_needed += io::fmt_count(std::llround(lifeline.income_required_usd));
   table.add_row({"income needed, Starlink + Lifeline", "$66,450",
-                 "$" + io::fmt_count(std::llround(
-                           lifeline.income_required_usd)),
+                 income_needed,
                  bench::rel_err(lifeline.income_required_usd, 66450.0)});
   table.add_row({"fraction unable, Xfinity $40", "<0.01%",
                  io::fmt_pct(xfinity.fraction_unable, 4), ""});

@@ -75,6 +75,7 @@ std::vector<LongTailPoint> longtail_curve(const demand::DemandProfile& profile,
     point.satellites = top.satellites;
     point.beams_on_binding = beams;
     point.binding_lat_deg = profile.cells()[top.cell].center.lat_deg;
+    // leolint:allow(float-eq): dedup of exactly-assigned curve points
     if (curve.empty() || point.satellites != curve.back().satellites) {
       curve.push_back(point);
     }

@@ -29,8 +29,10 @@ std::string render_table1(const Table1Summary& t) {
                      fmt(t.required_up_mbps, 0) + " Mbps (DL/UL)"});
   table.add_row({"Peak cell DL demand",
                  fmt(t.peak_cell_demand_gbps, 1) + " Gbps"});
-  table.add_row({"Max DL oversubscription",
-                 "~" + fmt(t.max_oversubscription, 1) + ":1"});
+  std::string oversub = "~";
+  oversub += fmt(t.max_oversubscription, 1);
+  oversub += ":1";
+  table.add_row({"Max DL oversubscription", oversub});
   return table.render();
 }
 

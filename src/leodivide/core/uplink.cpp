@@ -26,6 +26,7 @@ UplinkReport analyze_uplink(const SatelliteCapacityModel& down,
       static_cast<double>(locations) * location_uplink_demand_gbps();
   r.uplink_oversubscription = ul_demand / up.cell_capacity_gbps();
   r.uplink_to_downlink_ratio =
+      // leolint:allow(float-eq): exact-zero guard before dividing
       r.downlink_oversubscription == 0.0
           ? 0.0
           : r.uplink_oversubscription / r.downlink_oversubscription;

@@ -1,7 +1,6 @@
 #include "leodivide/demand/aggregate.hpp"
 
 #include <map>
-#include <unordered_map>
 
 #include "leodivide/obs/metrics.hpp"
 #include "leodivide/obs/trace.hpp"
@@ -27,7 +26,9 @@ DemandProfile aggregate(const DemandDataset& dataset, const hex::HexGrid& grid,
   }
   struct Bucket {
     std::uint32_t count = 0;
-    std::unordered_map<std::uint32_t, std::uint32_t> by_county;
+    // Ordered so every loop below walks counties in index order — the
+    // emitted per-county totals and tie-breaks never depend on hash layout.
+    std::map<std::uint32_t, std::uint32_t> by_county;
   };
   // std::map keeps cell order deterministic across runs and thread counts.
   using CellMap = std::map<hex::CellId, Bucket>;

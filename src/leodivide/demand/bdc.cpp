@@ -103,8 +103,7 @@ std::vector<BdcRecord> read_bdc_availability(std::istream& in) {
   return out;
 }
 
-std::unordered_map<std::uint64_t, geo::GeoPoint> read_bdc_fabric(
-    std::istream& in) {
+std::map<std::uint64_t, geo::GeoPoint> read_bdc_fabric(std::istream& in) {
   io::CsvReader reader(in);
   io::CsvRow row;
   if (!reader.next(row)) {
@@ -113,7 +112,7 @@ std::unordered_map<std::uint64_t, geo::GeoPoint> read_bdc_fabric(
   const std::size_t col_loc = require_column(row, "location_id");
   const std::size_t col_lat = require_column(row, "latitude");
   const std::size_t col_lon = require_column(row, "longitude");
-  std::unordered_map<std::uint64_t, geo::GeoPoint> out;
+  std::map<std::uint64_t, geo::GeoPoint> out;
   while (reader.next(row)) {
     const std::uint64_t id = cell_to_u64(row, col_loc, "location_id");
     out[id] = geo::GeoPoint{cell_to_double(row, col_lat, "latitude"),
@@ -125,8 +124,8 @@ std::unordered_map<std::uint64_t, geo::GeoPoint> read_bdc_fabric(
 
 DemandDataset build_dataset(
     const std::vector<BdcRecord>& records,
-    const std::unordered_map<std::uint64_t, geo::GeoPoint>& fabric,
-    County county, std::size_t* dropped) {
+    const std::map<std::uint64_t, geo::GeoPoint>& fabric, County county,
+    std::size_t* dropped) {
   struct Best {
     ServiceLevel offer;
     Technology tech = Technology::kNone;

@@ -14,8 +14,8 @@
 // generator yields, so real extracts drop straight into the analysis.
 
 #include <iosfwd>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "leodivide/demand/dataset.hpp"
@@ -46,9 +46,10 @@ struct BdcRecord {
 
 /// Coordinates for locations (the BDC "location fabric"): location_id ->
 /// position. Parsed from a CSV with header columns location_id, latitude,
-/// longitude (any order, extras ignored).
-[[nodiscard]] std::unordered_map<std::uint64_t, geo::GeoPoint>
-read_bdc_fabric(std::istream& in);
+/// longitude (any order, extras ignored). Ordered map so that any
+/// iteration downstream is deterministic by location id.
+[[nodiscard]] std::map<std::uint64_t, geo::GeoPoint> read_bdc_fabric(
+    std::istream& in);
 
 /// Reduces availability records to one Location per location_id with the
 /// best offer (max download, ties by upload), joined with fabric
@@ -59,7 +60,7 @@ read_bdc_fabric(std::istream& in);
 /// provided (real pipelines would join a county shapefile).
 [[nodiscard]] DemandDataset build_dataset(
     const std::vector<BdcRecord>& records,
-    const std::unordered_map<std::uint64_t, geo::GeoPoint>& fabric,
-    County county, std::size_t* dropped = nullptr);
+    const std::map<std::uint64_t, geo::GeoPoint>& fabric, County county,
+    std::size_t* dropped = nullptr);
 
 }  // namespace leodivide::demand

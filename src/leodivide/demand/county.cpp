@@ -1,7 +1,6 @@
 #include "leodivide/demand/county.hpp"
 
 #include <stdexcept>
-#include <unordered_map>
 
 namespace leodivide::demand {
 

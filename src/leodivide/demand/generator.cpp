@@ -263,7 +263,8 @@ DemandProfile SyntheticGenerator::generate_profile(
         (cum + static_cast<double>(drafts[i].weight) / 2.0) / total_weight;
     cum += static_cast<double>(drafts[i].weight);
     County county;
-    county.fips = "9" + std::to_string(10000 + i).substr(1);
+    county.fips = std::to_string(10000 + i);
+    county.fips[0] = '9';
     county.centroid = grid.center_of(drafts[i].parent);
     county.median_income_usd =
         i == poorest ? paper::kMinCountyIncomeUsd : std::round(income_q(mid));

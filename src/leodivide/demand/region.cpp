@@ -109,7 +109,8 @@ DemandProfile RegionGenerator::generate() const {
         (cum + static_cast<double>(drafts[i].weight) / 2.0) / total_weight;
     cum += static_cast<double>(drafts[i].weight);
     County county;
-    county.fips = "8" + std::to_string(10000 + i).substr(1);
+    county.fips = std::to_string(10000 + i);
+    county.fips[0] = '8';
     county.centroid = grid.center_of(drafts[i].parent);
     county.median_income_usd = std::round(spec_.income_quantile(mid));
     county.underserved_locations = drafts[i].weight;

@@ -29,6 +29,7 @@ Vec3 Vec3::cross(const Vec3& o) const noexcept {
 
 Vec3 Vec3::unit() const {
   const double n = norm();
+  // leolint:allow(float-eq): exact-zero guard before dividing by norm
   if (n == 0.0) throw std::domain_error("Vec3::unit: zero vector");
   return {x / n, y / n, z / n};
 }
@@ -74,6 +75,7 @@ Vec3 spherical_to_cartesian(const GeoPoint& p, double radius_km) {
 
 GeoPoint cartesian_to_spherical(const Vec3& v) {
   const double r = v.norm();
+  // leolint:allow(float-eq): exact-zero guard before dividing by norm
   if (r == 0.0) throw std::domain_error("cartesian_to_spherical: zero vector");
   return GeoPoint{rad2deg(std::asin(v.z / r)), rad2deg(std::atan2(v.y, v.x))}
       .normalized();

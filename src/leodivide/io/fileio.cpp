@@ -1,0 +1,22 @@
+#include "leodivide/io/fileio.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace leodivide::io {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_text_file: cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("read_text_file: read error on '" + path + "'");
+  }
+  return std::move(buf).str();
+}
+
+}  // namespace leodivide::io

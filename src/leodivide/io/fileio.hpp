@@ -1,0 +1,14 @@
+#pragma once
+// Whole-file reading. Shared by tools (leolint) and tests that need file
+// contents as a single string without hand-rolled stream loops.
+
+#include <string>
+
+namespace leodivide::io {
+
+/// Reads the entire file at `path` into a string (binary mode, so CRLF and
+/// embedded NUL bytes are preserved exactly). Throws std::runtime_error
+/// with the path in the message when the file cannot be opened or read.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+}  // namespace leodivide::io

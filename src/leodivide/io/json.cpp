@@ -396,7 +396,15 @@ class Parser {
     }
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
-    v.num_v = std::stod(std::string(text_.substr(start, pos_ - start)));
+    try {
+      v.num_v = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::out_of_range&) {
+      // e.g. "1e999" — syntactically valid JSON whose magnitude exceeds
+      // double range. Surface it as a parse error, not a foreign
+      // exception type.
+      pos_ = start;
+      fail("number out of range");
+    }
     return v;
   }
 

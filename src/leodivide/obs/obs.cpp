@@ -14,6 +14,8 @@ namespace {
 // Env value semantics: unset/""/"0" = off, "1" = on with the default sink,
 // anything else = on with the value as the output path.
 bool env_sink(const char* var, std::string& path) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at obs init; the
+  // process never calls setenv, so there is no racing writer.
   const char* v = std::getenv(var);
   if (v == nullptr) return false;
   const std::string s = v;

@@ -23,6 +23,7 @@ double band_term(double lat_deg, double inclination_deg) {
 
 double latitude_pdf(double lat_deg, double inclination_deg) {
   const double term = band_term(lat_deg, inclination_deg);
+  // leolint:allow(float-eq): band_term returns exactly 0.0 outside band
   if (term == 0.0) return 0.0;
   return std::cos(geo::deg2rad(lat_deg)) / (geo::kPi * term);
 }
@@ -30,6 +31,7 @@ double latitude_pdf(double lat_deg, double inclination_deg) {
 double surface_density_per_km2(double total_sats, double lat_deg,
                                double inclination_deg) {
   const double term = band_term(lat_deg, inclination_deg);
+  // leolint:allow(float-eq): band_term returns exactly 0.0 outside band
   if (term == 0.0) return 0.0;
   const double r2 = geo::kEarthRadiusKm * geo::kEarthRadiusKm;
   return total_sats / (2.0 * geo::kPi * geo::kPi * r2 * term);
@@ -37,6 +39,7 @@ double surface_density_per_km2(double total_sats, double lat_deg,
 
 double relative_density(double lat_deg, double inclination_deg) {
   const double term = band_term(lat_deg, inclination_deg);
+  // leolint:allow(float-eq): band_term returns exactly 0.0 outside band
   if (term == 0.0) return 0.0;
   return 2.0 / (geo::kPi * term);
 }
@@ -49,6 +52,7 @@ double constellation_size_for_density(double required_density_per_km2,
         "constellation_size_for_density: density must be > 0");
   }
   const double term = band_term(lat_deg, inclination_deg);
+  // leolint:allow(float-eq): band_term returns exactly 0.0 outside band
   if (term == 0.0) {
     throw std::invalid_argument(
         "constellation_size_for_density: latitude outside coverage band");

@@ -12,6 +12,7 @@ double elevation_deg(const geo::GeoPoint& ground,
   const geo::Vec3 obs = geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm);
   const geo::Vec3 los = sat_ecef_km - obs;
   const double range = los.norm();
+  // leolint:allow(float-eq): exact-zero guard before dividing by range
   if (range == 0.0) return 90.0;
   const geo::Vec3 up = obs.unit();
   const double sin_el = los.dot(up) / range;

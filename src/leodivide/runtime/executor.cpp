@@ -60,6 +60,8 @@ std::optional<std::size_t> parse_thread_count(std::string_view text) noexcept {
 }
 
 std::size_t default_thread_count() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at pool init; the
+  // process never calls setenv, so there is no racing writer.
   if (const char* env = std::getenv("LEODIVIDE_THREADS")) {
     if (const auto parsed = parse_thread_count(env)) return *parsed;
   }

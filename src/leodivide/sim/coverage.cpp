@@ -1,7 +1,8 @@
 #include "leodivide/sim/coverage.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
+#include <vector>
 
 #include "leodivide/runtime/parallel_for.hpp"
 
@@ -16,8 +17,13 @@ EpochCoverage summarize_epoch(const ScheduleResult& schedule,
   out.locations_total = schedule.locations_total;
   out.locations_served = schedule.locations_served;
   out.mean_beam_utilization = schedule.mean_beam_utilization;
-  std::unordered_set<std::uint32_t> sats;
-  for (const auto& a : schedule.assignments) sats.insert(a.sat);
+  // Sorted-vector dedup: the distinct count is computed from a fully
+  // ordered sequence, so no hash-container layout is ever consulted.
+  std::vector<std::uint32_t> sats;
+  sats.reserve(schedule.assignments.size());
+  for (const auto& a : schedule.assignments) sats.push_back(a.sat);
+  std::sort(sats.begin(), sats.end());
+  sats.erase(std::unique(sats.begin(), sats.end()), sats.end());
   out.satellites_in_view = sats.size();
   return out;
 }

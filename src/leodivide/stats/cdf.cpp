@@ -21,6 +21,7 @@ double EmpiricalCdf::operator()(double x) const {
 
 double EmpiricalCdf::quantile(double p) const {
   if (p < 0.0 || p > 1.0) throw std::invalid_argument("quantile: p not in [0,1]");
+  // leolint:allow(float-eq): p == 0 is the documented exact lower edge
   if (p == 0.0) return sorted_.front();
   const auto rank = static_cast<std::size_t>(
       std::min<double>(std::ceil(p * static_cast<double>(sorted_.size())),

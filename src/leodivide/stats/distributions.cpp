@@ -57,6 +57,7 @@ unsigned sample_poisson(Pcg32& rng, double lambda) {
   if (lambda < 0.0) {
     throw std::invalid_argument("sample_poisson: lambda must be >= 0");
   }
+  // leolint:allow(float-eq): exact-zero rate short-circuits sampling
   if (lambda == 0.0) return 0;
   if (lambda < 64.0) {
     const double limit = std::exp(-lambda);

@@ -60,6 +60,7 @@ TEST(PaperFindings, F3_DiminishingReturnsInTheLongTail) {
   // "connecting the final ~3000 locations requires deploying from a couple
   // hundred to a couple thousand of additional satellites".
   for (const auto& curve : national_results().fig3) {
+    // leolint:allow(float-eq): oversub is assigned exactly from 20.0
     if (curve.oversub != 20.0) continue;
     const double at_floor = core::satellites_for_unserved_budget(
         curve.points, 1000000ULL);

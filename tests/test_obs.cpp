@@ -355,6 +355,7 @@ TEST_F(ObsTest, ChromeTraceExportsNestedPipelineStages) {
   bool nested = false;
   for (const auto& p : polyfills) {
     for (const auto& g : generates) {
+      // leolint:allow(float-eq): tids are integers carried in doubles
       if (p.tid == g.tid && p.ts >= g.ts &&
           p.ts + p.dur <= g.ts + g.dur + 1e-3) {
         nested = true;

@@ -1,0 +1,11 @@
+// Fixture: annotations must carry a justification and a known rule id.
+#include <unordered_set>
+
+void missing_justification() {
+  std::unordered_set<int> pool;
+  for (int p : pool) (void)p;  // leolint:allow(unordered-iter)
+}
+
+void unknown_rule(double q) {
+  (void)(q == 0.0);  // leolint:allow(no-such-rule): nope
+}

@@ -1,0 +1,25 @@
+// Fixture: a clean file full of decoys — none of these may fire.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+// rand() and srand() in a comment are fine; steady_clock::now() too.
+const char* decoy_string() { return "rand() srand(1) time(nullptr)"; }
+
+const char* decoy_raw_string() {
+  return R"json({"clock": "steady_clock::now()", "x": 1.0})json";
+}
+
+bool epsilon_compare(double a, double b) { return (a - b) < 1e-12; }
+
+int ordered_iteration() {
+  std::map<int, int> counts{{1, 2}, {3, 4}};
+  int total = 0;
+  for (const auto& [k, v] : counts) total += k + v;
+  return total;
+}
+
+int thousands() { return 1'000'000; }
+
+bool integer_eq(int n) { return n == 0; }

@@ -1,0 +1,8 @@
+// Fixture: R1 no-rand — every seeded randomness source must fire.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() { return rand() % 10; }                  // line 5: rand()
+void bad_srand() { srand(42); }                         // line 6: srand()
+unsigned bad_device() { return std::random_device{}(); }  // line 7
+int ok_operand(int operand(int)) { return operand(1); }  // no finding

@@ -1,0 +1,13 @@
+// Fixture: R2 no-wallclock — wall-clock reads outside obs/ and bench/.
+#include <chrono>
+#include <ctime>
+
+long bad_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // 6
+}
+long bad_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // 9
+}
+long bad_ctime() { return time(nullptr); }  // line 11
+// A comment mentioning steady_clock::now() must NOT fire.
+const char* ok_string() { return "steady_clock::now()"; }

@@ -1,0 +1,35 @@
+// Fixture: R3 unordered-iter — iteration over unordered containers.
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+void bad_range_for() {
+  std::unordered_map<int, int> histogram;
+  for (const auto& [k, v] : histogram) std::printf("%d %d\n", k, v);  // 8
+}
+
+void bad_member_chain() {
+  struct Shard {
+    std::unordered_set<int> ids;
+  };
+  Shard shard;
+  for (int id : shard.ids) std::printf("%d\n", id);  // line 16
+}
+
+void bad_begin() {
+  std::unordered_map<int, int> counts;
+  auto it = counts.begin();  // line 21
+  (void)it;
+}
+
+void ok_annotated() {
+  std::unordered_set<int> seen;
+  // leolint:allow(unordered-iter): count accumulation is commutative
+  for (int s : seen) (void)s;
+}
+
+void ok_no_iteration() {
+  std::unordered_map<int, int> lookup;
+  (void)lookup.size();
+  (void)lookup.find(3);
+}

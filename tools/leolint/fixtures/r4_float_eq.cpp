@@ -1,0 +1,14 @@
+// Fixture: R4 float-eq — exact floating-point equality comparisons.
+
+bool bad_literal_rhs(double x) { return x == 0.0; }      // line 3
+bool bad_literal_lhs(double y) { return 1.5 != y; }      // line 4
+bool bad_exponent(double z) { return z == 1e-9; }        // line 5
+
+bool bad_declared_pair(double a, double b) { return a == b; }  // line 7
+
+bool ok_int(int n) { return n == 0; }
+bool ok_le(double w) { return w <= 0.5; }
+
+bool ok_annotated(double v) {
+  return v == 0.0;  // leolint:allow(float-eq): exact sentinel from init
+}

@@ -1,0 +1,3 @@
+// Fixture: R5 pragma-once — header deliberately missing #pragma once.
+
+inline int fixture_value() { return 42; }

@@ -1,0 +1,9 @@
+#pragma once
+// Fixture: R6 using-namespace — namespace-scope using directive in a
+// header.
+
+#include <string>
+
+using namespace std;  // line 7
+
+inline string fixture_name() { return "r6"; }

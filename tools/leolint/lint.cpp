@@ -1,0 +1,627 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <regex>
+#include <set>
+#include <stdexcept>
+
+#include "leodivide/io/fileio.hpp"
+
+namespace leolint {
+
+namespace {
+
+// ------------------------------------------------------------ code view --
+// Strips comments, string/char literals and raw strings from a file,
+// producing one "code" line per source line with stripped regions replaced
+// by spaces (columns are preserved for readability in diagnostics). The
+// raw lines are kept alongside for annotation parsing, because annotations
+// live inside comments.
+
+struct FileView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+FileView make_view(std::string_view text) {
+  FileView v;
+  std::string raw_line;
+  std::string code_line;
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_end;  // ")delim\"" terminator of the active raw string
+  char prev_code = '\0';
+
+  auto flush_line = [&] {
+    v.raw.push_back(raw_line);
+    v.code.push_back(code_line);
+    raw_line.clear();
+    code_line.clear();
+    if (state == State::kLineComment) state = State::kCode;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      flush_line();
+      continue;
+    }
+    raw_line.push_back(c);
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line.push_back(' ');
+        } else if (c == '"' && prev_code == 'R') {
+          // Raw string literal: R"delim( ... )delim". Find the opening
+          // parenthesis to learn the delimiter.
+          std::size_t open = text.find('(', i + 1);
+          if (open == std::string_view::npos) {
+            code_line.push_back(' ');  // malformed; treat rest as literal
+            state = State::kString;
+          } else {
+            raw_end = ")";
+            raw_end.append(text.substr(i + 1, open - (i + 1)));
+            raw_end.push_back('"');
+            state = State::kRawString;
+            code_line.push_back(' ');
+          }
+          prev_code = '\0';
+        } else if (c == '"') {
+          state = State::kString;
+          code_line.push_back(' ');
+          prev_code = '\0';
+        } else if (c == '\'' && !(std::isalnum(static_cast<unsigned char>(
+                                      prev_code)) != 0 ||
+                                  prev_code == '_')) {
+          // A quote after an identifier/digit is a digit separator
+          // (1'000'000) or a literal suffix, not a char literal.
+          state = State::kChar;
+          code_line.push_back(' ');
+          prev_code = '\0';
+        } else {
+          code_line.push_back(c);
+          if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+            prev_code = c;
+          }
+        }
+        break;
+      case State::kLineComment: code_line.push_back(' '); break;
+      case State::kBlockComment:
+        code_line.push_back(' ');
+        if (c == '*' && next == '/') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+          state = State::kCode;
+        }
+        break;
+      case State::kString:
+        code_line.push_back(' ');
+        if (c == '\\' && next != '\0' && next != '\n') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        code_line.push_back(' ');
+        if (c == '\\' && next != '\0' && next != '\n') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        code_line.push_back(' ');
+        if (c == raw_end.front() &&
+            text.substr(i, raw_end.size()) == raw_end) {
+          // Consume the rest of the terminator (it cannot contain '\n').
+          for (std::size_t k = 1; k < raw_end.size(); ++k) {
+            raw_line.push_back(text[i + k]);
+            code_line.push_back(' ');
+          }
+          i += raw_end.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty() || text.empty() || text.back() == '\n') {
+    // Final unterminated line (or preserve an empty trailing line slot for
+    // empty files so headers still get an R5 anchor line).
+    v.raw.push_back(raw_line);
+    v.code.push_back(code_line);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------- annotations --
+
+struct Annotation {
+  std::set<std::string> rules;
+  bool valid = false;      ///< has a non-empty justification
+  bool whole_line = false;  ///< comment is the entire line (applies below)
+};
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kRules{
+      "no-rand",     "no-wallclock",    "unordered-iter",
+      "float-eq",    "pragma-once",     "using-namespace",
+  };
+  return kRules;
+}
+
+// Parses "leolint:allow(rule[, rule...]): justification" out of a raw
+// line. Returns true if an annotation marker is present at all.
+bool parse_annotation(const std::string& raw, Annotation& out,
+                      std::string& error) {
+  const std::size_t at = raw.find("leolint:allow");
+  if (at == std::string::npos) return false;
+  std::size_t i = at + std::string("leolint:allow").size();
+  if (i >= raw.size() || raw[i] != '(') {
+    error = "malformed annotation: expected 'leolint:allow(rule): reason'";
+    return true;
+  }
+  const std::size_t close = raw.find(')', ++i);
+  if (close == std::string::npos) {
+    error = "malformed annotation: missing ')'";
+    return true;
+  }
+  std::string rule;
+  for (std::size_t k = i; k <= close; ++k) {
+    const char c = raw[k];
+    if (c == ',' || c == ')') {
+      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+      std::size_t b = 0;
+      while (b < rule.size() && rule[b] == ' ') ++b;
+      rule = rule.substr(b);
+      if (rule.empty()) {
+        error = "malformed annotation: empty rule id";
+        return true;
+      }
+      if (known_rules().count(rule) == 0) {
+        error = "annotation names unknown rule '" + rule + "'";
+        return true;
+      }
+      out.rules.insert(rule);
+      rule.clear();
+    } else {
+      rule.push_back(c);
+    }
+  }
+  // Justification: a ':' after the ')' followed by non-space text.
+  std::size_t j = close + 1;
+  while (j < raw.size() && raw[j] == ' ') ++j;
+  if (j >= raw.size() || raw[j] != ':') {
+    error =
+        "annotation missing justification: write "
+        "'leolint:allow(rule): why this site is exempt'";
+    return true;
+  }
+  ++j;
+  while (j < raw.size() && std::isspace(static_cast<unsigned char>(raw[j]))) {
+    ++j;
+  }
+  if (j >= raw.size()) {
+    error = "annotation missing justification text after ':'";
+    return true;
+  }
+  out.valid = true;
+  // Whole-line annotation: nothing but whitespace before the comment.
+  const std::size_t slash = raw.find("//");
+  out.whole_line =
+      slash != std::string::npos &&
+      raw.find_first_not_of(" \t") == slash;
+  return true;
+}
+
+// --------------------------------------------------------------- helpers --
+
+bool path_has_component(std::string_view path, std::string_view comp) {
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find_first_of("/\\", start);
+    if (end == std::string_view::npos) end = path.size();
+    if (path.substr(start, end - start) == comp) return true;
+    start = end + 1;
+  }
+  return false;
+}
+
+bool is_header(std::string_view path) {
+  for (std::string_view ext : {".hpp", ".hh", ".h", ".hxx"}) {
+    if (path.size() >= ext.size() &&
+        path.substr(path.size() - ext.size()) == ext) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// The set of identifiers declared in this file with an unordered container
+// type (variables, parameters, data members) — the working set for R3.
+std::set<std::string> collect_unordered_names(const std::string& code) {
+  std::set<std::string> names;
+  static const std::regex kUnordered(
+      R"(\bunordered_(?:multi)?(?:map|set)\b)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kUnordered);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t i = static_cast<std::size_t>(it->position()) + it->length();
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(
+                                  code[i])) != 0) {
+      ++i;
+    }
+    if (i >= code.size() || code[i] != '<') continue;
+    int depth = 0;
+    for (; i < code.size(); ++i) {
+      if (code[i] == '<') ++depth;
+      if (code[i] == '>' && --depth == 0) {
+        ++i;
+        break;
+      }
+    }
+    // Skip reference/pointer qualifiers and whitespace before the name.
+    while (i < code.size() &&
+           (std::isspace(static_cast<unsigned char>(code[i])) != 0 ||
+            code[i] == '&' || code[i] == '*')) {
+      ++i;
+    }
+    std::string name;
+    while (i < code.size() && ident_char(code[i])) name.push_back(code[i++]);
+    if (name.empty() || name == "const") continue;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(
+                                  code[i])) != 0) {
+      ++i;
+    }
+    // Only a declarator position counts — `unordered_map<K,V> x;`,
+    // an initialised/braced declarator, or a parameter.
+    if (i >= code.size() || code[i] == ';' || code[i] == '=' ||
+        code[i] == '{' || code[i] == '(' || code[i] == ',' ||
+        code[i] == ')') {
+      names.insert(name);
+    }
+  }
+  return names;
+}
+
+// Identifiers declared double/float in this file — R4's second heuristic.
+std::set<std::string> collect_float_names(const std::string& code) {
+  std::set<std::string> names;
+  static const std::regex kFloatDecl(R"(\b(?:double|float)\s+(\w+))");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kFloatDecl);
+       it != std::sregex_iterator(); ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+bool is_float_literal(std::string_view tok) {
+  static const std::regex kFloat(
+      R"(^[-+]?(\d+\.\d*|\.\d+|\d+\.|\d+[eE][-+]?\d+)([eE][-+]?\d+)?[fFlL]?$)");
+  return std::regex_match(tok.begin(), tok.end(), kFloat);
+}
+
+// Last token (identifier, number, or member-access tail) ending at `end`.
+std::string token_before(const std::string& s, std::size_t end) {
+  std::size_t i = end;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(s[i - 1])) != 0) {
+    --i;
+  }
+  std::size_t stop = i;
+  while (i > 0) {
+    if (ident_char(s[i - 1]) || s[i - 1] == '.') {
+      --i;
+    } else if ((s[i - 1] == '-' || s[i - 1] == '+') && i > 1 &&
+               (s[i - 2] == 'e' || s[i - 2] == 'E')) {
+      --i;  // exponent sign inside a float literal, e.g. 1e-9
+    } else {
+      break;
+    }
+  }
+  return s.substr(i, stop - i);
+}
+
+std::string token_after(const std::string& s, std::size_t begin) {
+  std::size_t i = begin;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  std::size_t start = i;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+  while (i < s.size()) {
+    if (ident_char(s[i]) || s[i] == '.') {
+      ++i;
+    } else if ((s[i] == '-' || s[i] == '+') && i > start &&
+               (s[i - 1] == 'e' || s[i - 1] == 'E')) {
+      ++i;  // exponent sign inside a float literal, e.g. 1e-9
+    } else {
+      break;
+    }
+  }
+  return s.substr(start, i - start);
+}
+
+// Member-access tail: "b.offer.down_mbps" -> "down_mbps".
+std::string_view tail_identifier(std::string_view tok) {
+  const std::size_t dot = tok.rfind('.');
+  return dot == std::string_view::npos ? tok : tok.substr(dot + 1);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ lint --
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view text) {
+  const std::string file(path);
+  const FileView view = make_view(text);
+  const bool header = is_header(path);
+  const bool exempt_rand = path_has_component(path, "stats");
+  const bool exempt_clock =
+      path_has_component(path, "obs") || path_has_component(path, "bench");
+
+  // Raw findings before annotation filtering: (line, rule, message).
+  std::vector<Finding> raw_findings;
+  auto report = [&](std::size_t line, std::string rule, std::string msg) {
+    raw_findings.push_back(
+        Finding{file, line, std::move(rule), std::move(msg)});
+  };
+
+  std::string joined;
+  for (const auto& l : view.code) {
+    joined += l;
+    joined += '\n';
+  }
+
+  const std::set<std::string> unordered_names =
+      collect_unordered_names(joined);
+  const std::set<std::string> float_names = collect_float_names(joined);
+
+  // Annotations, and annotation syntax errors (reported unconditionally).
+  std::vector<Annotation> annotations(view.raw.size());
+  std::vector<Finding> meta_findings;
+  for (std::size_t li = 0; li < view.raw.size(); ++li) {
+    Annotation a;
+    std::string error;
+    if (!parse_annotation(view.raw[li], a, error)) continue;
+    if (!a.valid) {
+      meta_findings.push_back(
+          Finding{file, li + 1, "bad-annotation", error});
+      continue;
+    }
+    annotations[li] = a;
+  }
+
+  auto allowed = [&](std::size_t line_index, const std::string& rule) {
+    const Annotation& same = annotations[line_index];
+    if (same.valid && same.rules.count(rule) != 0) return true;
+    if (line_index > 0) {
+      const Annotation& above = annotations[line_index - 1];
+      if (above.valid && above.whole_line && above.rules.count(rule) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  static const std::regex kRand(
+      R"(\b(?:std\s*::\s*)?(?:rand|srand)\s*\(|\brandom_device\b)");
+  static const std::regex kClock(
+      R"(\b(?:system_clock|steady_clock|high_resolution_clock|utc_clock|file_clock)\s*::\s*now\s*\(|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))");
+  static const std::regex kUsingNamespace(R"(^\s*using\s+namespace\b)");
+  static const std::regex kRangeFor(R"(\bfor\s*\()");
+  static const std::regex kBeginCall(R"(\b(\w+)\s*\.\s*c?begin\s*\()");
+
+  bool saw_pragma_once = false;
+
+  for (std::size_t li = 0; li < view.code.size(); ++li) {
+    const std::string& code = view.code[li];
+    const std::size_t line = li + 1;
+
+    // Code view, not raw: "#pragma once" inside a comment must not count.
+    if (code.find("#pragma once") != std::string::npos) {
+      saw_pragma_once = true;
+    }
+
+    // R1 — randomness outside stats/.
+    if (!exempt_rand && std::regex_search(code, kRand)) {
+      report(line, "no-rand",
+             "nondeterministic randomness source; use "
+             "leodivide::stats RNG utilities (seeded, splittable) instead");
+    }
+
+    // R2 — wall-clock reads outside obs/ and bench/.
+    if (!exempt_clock && std::regex_search(code, kClock)) {
+      report(line, "no-wallclock",
+             "wall-clock read in a deterministic path; timing belongs in "
+             "obs/ spans or bench/ harnesses");
+    }
+
+    // R6 — using namespace in headers.
+    if (header && std::regex_search(code, kUsingNamespace)) {
+      report(line, "using-namespace",
+             "'using namespace' in a header leaks into every includer");
+    }
+
+    // R3a — explicit iterator access on a known unordered container.
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kBeginCall);
+         it != std::sregex_iterator(); ++it) {
+      if (unordered_names.count((*it)[1].str()) != 0) {
+        report(line, "unordered-iter",
+               "iterator over unordered container '" + (*it)[1].str() +
+                   "' — hash layout order can leak into output; sort "
+                   "first or use an ordered container");
+      }
+    }
+
+    // R3b — range-for whose range names an unordered container.
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kRangeFor);
+         it != std::sregex_iterator(); ++it) {
+      // Window: this line plus a few continuations, to find the header.
+      std::string window = code.substr(
+          static_cast<std::size_t>(it->position()) + it->length() - 1);
+      for (std::size_t k = li + 1; k < view.code.size() && k < li + 6; ++k) {
+        window += ' ';
+        window += view.code[k];
+      }
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      std::size_t close = std::string::npos;
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        const char c = window[i];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') {
+          if (--depth == 0) {
+            close = i;
+            break;
+          }
+        }
+        if (c == ';' && depth == 1) break;  // classic for-loop
+        if (c == ':' && depth == 1) {
+          const bool scope = (i > 0 && window[i - 1] == ':') ||
+                             (i + 1 < window.size() && window[i + 1] == ':');
+          if (!scope && colon == std::string::npos) colon = i;
+        }
+      }
+      if (colon == std::string::npos || close == std::string::npos) continue;
+      const std::string range = window.substr(colon + 1, close - colon - 1);
+      for (std::size_t i = 0; i < range.size();) {
+        if (!ident_char(range[i])) {
+          ++i;
+          continue;
+        }
+        std::size_t start = i;
+        while (i < range.size() && ident_char(range[i])) ++i;
+        if (unordered_names.count(range.substr(start, i - start)) != 0) {
+          report(line, "unordered-iter",
+                 "range-for over unordered container '" +
+                     range.substr(start, i - start) +
+                     "' — hash layout order can leak into output; sort "
+                     "first or use an ordered container");
+          break;
+        }
+      }
+    }
+
+    // R4 — floating-point ==/!=.
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+      const bool eq = code[i] == '=' && code[i + 1] == '=';
+      const bool neq = code[i] == '!' && code[i + 1] == '=';
+      if (!eq && !neq) continue;
+      if (eq && i > 0 &&
+          (code[i - 1] == '=' || code[i - 1] == '!' || code[i - 1] == '<' ||
+           code[i - 1] == '>' || code[i - 1] == '+' || code[i - 1] == '-' ||
+           code[i - 1] == '*' || code[i - 1] == '/' || code[i - 1] == '%' ||
+           code[i - 1] == '&' || code[i - 1] == '|' || code[i - 1] == '^')) {
+        continue;  // <=, >=, !=, op= — not an equality comparison
+      }
+      const std::string lhs = token_before(code, i);
+      const std::string rhs = token_after(code, i + 2);
+      // A pointer/bool sentinel on either side means this is not a
+      // floating-point comparison even if the other operand's name is
+      // also used as a double elsewhere in the file.
+      auto is_non_float_sentinel = [](const std::string& tok) {
+        return tok == "nullptr" || tok == "NULL" || tok == "true" ||
+               tok == "false";
+      };
+      if (is_non_float_sentinel(lhs) || is_non_float_sentinel(rhs)) {
+        continue;
+      }
+      const bool lhs_float =
+          is_float_literal(lhs) ||
+          float_names.count(std::string(tail_identifier(lhs))) != 0;
+      const bool rhs_float =
+          is_float_literal(rhs) ||
+          float_names.count(std::string(tail_identifier(rhs))) != 0;
+      if (lhs_float || rhs_float) {
+        report(line, "float-eq",
+               std::string("floating-point ") + (eq ? "==" : "!=") +
+                   " comparison; use an epsilon or annotate an exact "
+                   "sentinel check");
+        i += 1;
+      }
+    }
+  }
+
+  // R5 — headers must carry #pragma once.
+  if (header && !saw_pragma_once) {
+    report(1, "pragma-once", "header is missing #pragma once");
+  }
+
+  std::vector<Finding> out = std::move(meta_findings);
+  for (auto& f : raw_findings) {
+    if (!allowed(f.line - 1, f.rule)) out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  auto want = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    for (std::string_view e :
+         {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".hxx"}) {
+      if (ext == e) return true;
+    }
+    return false;
+  };
+  for (const auto& root : roots) {
+    const fs::path rp(root);
+    if (fs::is_regular_file(rp)) {
+      files.push_back(rp.generic_string());
+    } else if (fs::is_directory(rp)) {
+      for (const auto& entry : fs::recursive_directory_iterator(rp)) {
+        if (entry.is_regular_file() && want(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else {
+      throw std::runtime_error("leolint: no such file or directory: " + root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> out;
+  for (const auto& f : files) {
+    const std::string text = leodivide::io::read_text_file(f);
+    std::vector<Finding> found = lint_source(f, text);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + " " +
+         f.message;
+}
+
+}  // namespace leolint

@@ -1,0 +1,62 @@
+#pragma once
+// leolint — the project's determinism linter. Scans C++ sources for
+// constructs that break bit-reproducibility or the header hygiene the
+// build relies on, and reports them as machine-checkable findings.
+//
+// Rules (stable ids; R# is the shorthand used in ISSUE/README tables):
+//   R1 no-rand          rand()/srand()/std::random_device outside stats/
+//   R2 no-wallclock     wall-clock reads (steady_clock::now() & friends)
+//                       outside obs/ and bench/
+//   R3 unordered-iter   iteration over std::unordered_{map,set} (range-for
+//                       or .begin()/.cbegin()) — hash layout must never
+//                       reach emitted or returned ordered data
+//   R4 float-eq         floating-point ==/!= (literal operands, or
+//                       operands declared double/float in the same file)
+//   R5 pragma-once      headers must contain #pragma once
+//   R6 using-namespace  `using namespace` in headers
+//
+// A finding can be waived with a same-line (or immediately preceding
+// whole-line) annotation carrying a justification:
+//   ... // leolint:allow(unordered-iter): count only, order never observed
+// An annotation without a justification, or naming an unknown rule, is
+// itself reported (rule id `bad-annotation`).
+//
+// The scanner is textual, not a real C++ front end: string/char literals,
+// raw strings and comments are stripped before matching, so quoted decoys
+// never fire, but type information is limited to what the file itself
+// declares. The documented limitations: R3 cannot see through typedefs or
+// functions returning unordered containers, and R4 only sees literal
+// operands or identifiers declared double/float in the same file.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leolint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;      ///< stable rule id, e.g. "no-rand"
+  std::string message;
+};
+
+/// Lints one file's contents. `path` drives path-based exemptions (a
+/// `stats` path component waives R1; `obs` or `bench` components waive R2)
+/// and whether header-only rules (R5, R6) apply.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view text);
+
+/// Recursively lints every C++ source file (.cpp .cc .cxx .hpp .hh .h
+/// .hxx) under each root (a root may also be a single file). Results are
+/// sorted by (file, line, rule) so output is deterministic regardless of
+/// directory enumeration order. Throws std::runtime_error for a root that
+/// does not exist.
+[[nodiscard]] std::vector<Finding> lint_paths(
+    const std::vector<std::string>& roots);
+
+/// "file:line: rule-id message" — the format CI greps for.
+[[nodiscard]] std::string format(const Finding& f);
+
+}  // namespace leolint

@@ -1,0 +1,58 @@
+// leolint CLI. Usage: leolint <path>... — lints every C++ source under
+// the given files/directories and exits nonzero on any finding, so it can
+// gate CI and ctest (`lint.leolint`).
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: leolint <path>...\n"
+      "\n"
+      "Lints C++ sources (.cpp .cc .cxx .hpp .hh .h .hxx) under each path\n"
+      "for determinism and hygiene violations. Exit status: 0 clean,\n"
+      "1 findings, 2 usage or I/O error.\n"
+      "\n"
+      "Rules: no-rand (R1), no-wallclock (R2), unordered-iter (R3),\n"
+      "float-eq (R4), pragma-once (R5), using-namespace (R6).\n"
+      "Waive a site with: // leolint:allow(rule-id): justification\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    usage();
+    return 2;
+  }
+  try {
+    const std::vector<leolint::Finding> findings = leolint::lint_paths(roots);
+    for (const auto& f : findings) {
+      std::fprintf(stdout, "%s\n", leolint::format(f).c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "leolint: %zu finding(s)\n", findings.size());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
