@@ -14,12 +14,14 @@
 #include "leodivide/io/table.hpp"
 #include "leodivide/obs/obs.hpp"
 #include "leodivide/runtime/executor.hpp"
+#include "leodivide/snapshot/snapshot.hpp"
 
 namespace leodivide::bench {
 
 /// RAII observability session for a bench binary: reads the env vars,
-/// consumes any --trace/--metrics argv flags, enables the requested
-/// facilities, and writes the trace/metrics files when the bench exits.
+/// consumes any --trace/--metrics/--snapshot-dir argv flags, enables the
+/// requested facilities, and writes the trace/metrics files when the bench
+/// exits.
 ///
 ///   int main(int argc, char** argv) {
 ///     leodivide::bench::ObsGuard obs_guard(argc, argv);
@@ -29,7 +31,8 @@ class ObsGuard {
  public:
   ObsGuard(int argc, char** argv) : options_(obs::options_from_env()) {
     for (int i = 1; i < argc; ++i) {
-      (void)obs::parse_cli_arg(options_, argc, argv, i);
+      if (obs::parse_cli_arg(options_, argc, argv, i)) continue;
+      (void)snapshot::parse_cli_arg(argc, argv, i);
     }
     obs::apply(options_);
   }
@@ -70,9 +73,25 @@ inline void emit_json_line(const std::string& bench, double wall_ms,
 }
 
 /// The full-scale calibrated national demand profile (deterministic).
+/// Restored from the snapshot cache when one is configured
+/// (--snapshot-dir / LEODIVIDE_SNAPSHOT_DIR), generated otherwise.
 inline const demand::DemandProfile& national_profile() {
-  static const demand::DemandProfile profile =
-      demand::SyntheticGenerator(demand::GeneratorConfig{}).generate_profile();
+  static const demand::DemandProfile profile = [] {
+    const demand::GeneratorConfig gen_config{};
+    auto generate = [&gen_config] {
+      return demand::SyntheticGenerator(gen_config).generate_profile();
+    };
+    snapshot::StageCache* cache = snapshot::global_cache();
+    if (cache == nullptr) return generate();
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("demand.profile");
+    snapshot::mix(fp, gen_config);
+    return cache->get_or_compute(
+        "demand.profile", fp, generate,
+        [](const demand::DemandProfile& p) { return snapshot::serialize(p); },
+        [](std::string_view blob) {
+          return snapshot::deserialize_profile(blob);
+        });
+  }();
   return profile;
 }
 

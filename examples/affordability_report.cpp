@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "leodivide/afford/affordability.hpp"
 #include "leodivide/demand/generator.hpp"
@@ -17,6 +18,16 @@
 
 int main(int argc, char** argv) {
   using namespace leodivide;
+
+  // Positional args only: a stray --flag would otherwise parse as $0.00.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << argv[i]
+                << "\nusage: affordability_report [monthly_usd] "
+                   "[threshold]\n";
+      return 2;
+    }
+  }
 
   const double monthly = argc > 1 ? std::atof(argv[1]) : 120.0;
   const double threshold = argc > 2 ? std::atof(argv[2]) : 0.02;

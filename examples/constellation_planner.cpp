@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "leodivide/core/longtail.hpp"
 #include "leodivide/core/sizing.hpp"
@@ -18,6 +19,16 @@
 
 int main(int argc, char** argv) {
   using namespace leodivide;
+
+  // Positional args only: a stray --flag would otherwise parse as 0.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << argv[i]
+                << "\nusage: constellation_planner [satellite_budget] "
+                   "[oversub_cap]\n";
+      return 2;
+    }
+  }
 
   const double budget = argc > 1 ? std::atof(argv[1]) : 8000.0;
   const double cap = argc > 2 ? std::atof(argv[2]) : 20.0;

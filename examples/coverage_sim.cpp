@@ -1,38 +1,72 @@
 // Coverage simulation: propagate a Walker shell over time and watch the
 // greedy beam scheduler serve the national demand cells epoch by epoch.
 //
-//   $ ./coverage_sim [planes] [sats_per_plane] [minutes] [beamspread]
+//   $ ./coverage_sim [--snapshot-dir DIR] [planes] [sats_per_plane]
+//                    [minutes] [beamspread]
 //
 // Defaults: Starlink shell 1 (72 x 22 at 53 deg / 550 km), 10 minutes,
-// beamspread 5.
+// beamspread 5. With `--snapshot-dir DIR` (or LEODIVIDE_SNAPSHOT_DIR) the
+// generated demand profile and the epoch trace are cached as LDSNAP blobs
+// keyed by their exact inputs, so a rerun with the same shell and horizon
+// skips both generation and propagation.
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "leodivide/demand/generator.hpp"
 #include "leodivide/io/table.hpp"
 #include "leodivide/orbit/footprint.hpp"
 #include "leodivide/sim/handover.hpp"
 #include "leodivide/sim/simulation.hpp"
+#include "leodivide/snapshot/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace leodivide;
 
+  std::vector<std::string> positional;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (snapshot::parse_cli_arg(argc, argv, i)) {
+        // Snapshot cache flag; consumed.
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "unknown or malformed flag: " << arg
+                  << "\nusage: coverage_sim [--snapshot-dir DIR] [planes] "
+                     "[sats_per_plane] [minutes] [beamspread]\n";
+        return 2;
+      } else {
+        positional.push_back(arg);
+      }
+    }
+  } catch (const std::runtime_error& e) {
+    // e.g. --snapshot-dir with no value.
+    std::cerr << "unknown or malformed flag: " << e.what() << '\n';
+    return 2;
+  }
+
   sim::SimulationConfig config;
-  config.shell.planes = argc > 1 ? static_cast<std::uint32_t>(
-                                       std::atoi(argv[1]))
-                                 : 72U;
+  config.shell.planes =
+      positional.size() > 0
+          ? static_cast<std::uint32_t>(std::atoi(positional[0].c_str()))
+          : 72U;
   config.shell.sats_per_plane =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 22U;
-  const double minutes = argc > 3 ? std::atof(argv[3]) : 10.0;
+      positional.size() > 1
+          ? static_cast<std::uint32_t>(std::atoi(positional[1].c_str()))
+          : 22U;
+  const double minutes =
+      positional.size() > 2 ? std::atof(positional[2].c_str()) : 10.0;
   config.scheduler.beamspread =
-      argc > 4 ? static_cast<std::uint32_t>(std::atoi(argv[4])) : 5U;
+      positional.size() > 3
+          ? static_cast<std::uint32_t>(std::atoi(positional[3].c_str()))
+          : 5U;
   config.duration_s = minutes * 60.0;
   config.step_s = 60.0;
   if (config.shell.planes == 0 || config.shell.sats_per_plane == 0 ||
       minutes <= 0.0 || config.scheduler.beamspread == 0) {
-    std::cerr << "usage: coverage_sim [planes] [sats_per_plane] [minutes] "
-                 "[beamspread]\n";
+    std::cerr << "usage: coverage_sim [--snapshot-dir DIR] [planes] "
+                 "[sats_per_plane] [minutes] [beamspread]\n";
     return 1;
   }
 
@@ -46,16 +80,45 @@ int main(int argc, char** argv) {
             << ", scheduling horizon: " << minutes << " min\n\n"
             << "generating national demand profile...\n";
 
-  const demand::DemandProfile profile =
-      demand::SyntheticGenerator{demand::GeneratorConfig{}}
-          .generate_profile();
+  snapshot::StageCache* cache = snapshot::global_cache();
+  const demand::GeneratorConfig gen_config{};
+  auto generate = [&gen_config] {
+    return demand::SyntheticGenerator{gen_config}.generate_profile();
+  };
+  demand::DemandProfile profile;
+  if (cache != nullptr) {
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("demand.profile");
+    snapshot::mix(fp, gen_config);
+    profile = cache->get_or_compute(
+        "demand.profile", fp, generate,
+        [](const demand::DemandProfile& p) { return snapshot::serialize(p); },
+        [](std::string_view blob) {
+          return snapshot::deserialize_profile(blob);
+        });
+  } else {
+    profile = generate();
+  }
   std::cout << "  " << profile.cell_count() << " demand cells, "
             << io::fmt_count(static_cast<long long>(
                    profile.total_locations()))
             << " un(der)served locations\n\n";
 
   const sim::Simulation simulation(config, profile);
-  const auto trace = simulation.run();
+  auto run_sim = [&simulation] { return simulation.run(); };
+  std::vector<sim::EpochCoverage> trace;
+  if (cache != nullptr) {
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("sim.epochs");
+    snapshot::mix(fp, config);
+    fp.mix(snapshot::serialize(profile));
+    trace = cache->get_or_compute(
+        "sim.epochs", fp, run_sim,
+        [](const std::vector<sim::EpochCoverage>& t) {
+          return snapshot::serialize(t);
+        },
+        [](std::string_view blob) { return snapshot::deserialize_epochs(blob); });
+  } else {
+    trace = run_sim();
+  }
 
   // Handover churn between the first two epochs (satellites move ~450 km
   // per minute, forcing cells to switch serving satellites).

@@ -1,7 +1,7 @@
 // National analysis: the full paper pipeline with dataset persistence.
 //
 //   $ ./national_analysis [--threads N] [--trace FILE] [--metrics[=FILE]]
-//                         [output_dir]
+//                         [--snapshot-dir DIR] [output_dir]
 //
 // Generates the calibrated national profile, saves it as CSV (cells +
 // counties) so it can be inspected or replaced with a real FCC Broadband
@@ -11,8 +11,16 @@
 // `--trace FILE` writes a Chrome trace-event JSON of the pipeline stages
 // and `--metrics[=FILE]` dumps the metrics registry at exit (see
 // README.md, "Observability"); LEODIVIDE_TRACE / LEODIVIDE_METRICS work
-// too.
+// too. `--snapshot-dir DIR` (or LEODIVIDE_SNAPSHOT_DIR) turns on the
+// content-addressed stage cache: the generated profile and the analysis
+// results are stored as LDSNAP blobs keyed by their exact inputs, so a
+// rerun with unchanged inputs skips generation and sizing entirely while
+// producing byte-identical outputs (see README.md, "Snapshots &
+// incremental re-runs"). The run always ends with one machine-readable
+// bench line carrying wall time, stage breakdown and snapshot hit/miss
+// counts.
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -24,13 +32,19 @@
 #include "leodivide/io/json.hpp"
 #include "leodivide/obs/obs.hpp"
 #include "leodivide/runtime/executor.hpp"
+#include "leodivide/snapshot/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace leodivide;
   namespace fs = std::filesystem;
 
+  // Wall time feeds the reporting-only bench line; it never enters results.
+  // leolint:allow(no-wallclock): reporting-only bench-line wall time
+  const auto wall_start = std::chrono::steady_clock::now();
+
   obs::Options obs_options = obs::options_from_env();
   fs::path out_dir = "national_analysis_out";
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -49,19 +63,50 @@ int main(int argc, char** argv) {
       }
     } else if (obs::parse_cli_arg(obs_options, argc, argv, i)) {
       // Observability flag; consumed.
+    } else if (snapshot::parse_cli_arg(argc, argv, i)) {
+      // Snapshot cache flag; consumed.
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown or malformed flag: " << arg
+                << "\nusage: national_analysis [--threads N] [--trace FILE]"
+                   " [--metrics[=FILE]] [--snapshot-dir DIR] [output_dir]\n";
+      return 2;
     } else {
       out_dir = arg;
     }
+  }
+  } catch (const std::runtime_error& e) {
+    // e.g. --snapshot-dir with no value.
+    std::cerr << "unknown or malformed flag: " << e.what() << '\n';
+    return 2;
   }
   obs::apply(obs_options);
   std::cout << "using " << runtime::global_executor().concurrency()
             << " thread(s)\n";
   fs::create_directories(out_dir);
+  snapshot::StageCache* cache = snapshot::global_cache();
+  if (cache != nullptr) {
+    std::cout << "snapshot cache: " << cache->dir() << '\n';
+  }
 
-  // 1. Generate and persist the dataset.
+  // 1. Generate (or restore) and persist the dataset.
   std::cout << "[1/4] generating calibrated national demand profile...\n";
-  const demand::SyntheticGenerator generator{demand::GeneratorConfig{}};
-  const demand::DemandProfile profile = generator.generate_profile();
+  const demand::GeneratorConfig gen_config{};
+  auto generate = [&gen_config] {
+    return demand::SyntheticGenerator{gen_config}.generate_profile();
+  };
+  demand::DemandProfile profile;
+  if (cache != nullptr) {
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("demand.profile");
+    snapshot::mix(fp, gen_config);
+    profile = cache->get_or_compute(
+        "demand.profile", fp, generate,
+        [](const demand::DemandProfile& p) { return snapshot::serialize(p); },
+        [](std::string_view blob) {
+          return snapshot::deserialize_profile(blob);
+        });
+  } else {
+    profile = generate();
+  }
   {
     std::ofstream cells(out_dir / "cells.csv");
     std::ofstream counties(out_dir / "counties.csv");
@@ -79,9 +124,27 @@ int main(int argc, char** argv) {
   const demand::DemandProfile loaded =
       demand::DemandProfile::load_csv(cells_in, counties_in);
 
-  // 3. Run the complete analysis.
+  // 3. Run (or restore) the complete analysis.
   std::cout << "[3/4] running the full analysis...\n\n";
-  const core::AnalysisResults results = core::run_full_analysis(loaded);
+  auto analyze = [&loaded] { return core::run_full_analysis(loaded); };
+  core::AnalysisResults results;
+  if (cache != nullptr) {
+    // The analysis output is a pure function of the (reloaded) profile
+    // bytes plus the default model and sweep config, so all three form the
+    // cache key.
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("core.analysis");
+    snapshot::mix(fp, core::SizingModel{});
+    snapshot::mix(fp, core::AnalysisConfig{});
+    fp.mix(snapshot::serialize(loaded));
+    results = cache->get_or_compute(
+        "core.analysis", fp, analyze,
+        [](const core::AnalysisResults& r) { return snapshot::serialize(r); },
+        [](std::string_view blob) {
+          return snapshot::deserialize_analysis(blob);
+        });
+  } else {
+    results = analyze();
+  }
   std::cout << core::render_report(results) << "\n";
 
   // 4. Export machine-readable results.
@@ -129,6 +192,21 @@ int main(int argc, char** argv) {
     std::cout << "      wrote " << (out_dir / "dense_cells.geojson")
               << " (cells with >= 1000 un(der)served locations)\n";
   }
+
+  // leolint:allow(no-wallclock): reporting-only bench-line wall time
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  std::string line = obs::bench_line_json(
+      "national_analysis", runtime::global_executor().concurrency(), wall_ms);
+  line.pop_back();  // strip '}' to splice in the snapshot counters
+  line += ",\"snapshot_hits\":";
+  line += std::to_string(cache != nullptr ? cache->hits() : 0);
+  line += ",\"snapshot_misses\":";
+  line += std::to_string(cache != nullptr ? cache->misses() : 0);
+  line += '}';
+  std::cout << line << '\n';
+
   obs::finalize(obs_options);
   return 0;
 }

@@ -8,12 +8,22 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "leodivide/core/report.hpp"
 #include "leodivide/demand/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace leodivide;
+
+  // Positional args only: a stray --flag would otherwise parse as scale 0.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << argv[i]
+                << "\nusage: quickstart [scale in (0,1]]\n";
+      return 2;
+    }
+  }
 
   demand::GeneratorConfig config;
   if (argc > 1) config.scale = std::atof(argv[1]);

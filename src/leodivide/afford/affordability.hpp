@@ -29,6 +29,10 @@ struct PlanAffordability {
   double income_required_usd = 0.0;  ///< annual income at the 2% rule
   double locations_unable = 0.0;     ///< un(der)served locations priced out
   double fraction_unable = 0.0;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const PlanAffordability&,
+                         const PlanAffordability&) = default;
 };
 
 /// One point of a Figure-4 curve: at proportion-of-income x, how many

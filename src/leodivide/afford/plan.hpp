@@ -18,6 +18,9 @@ struct ServicePlan {
   [[nodiscard]] bool reliable() const noexcept {
     return demand::is_reliable(speeds);
   }
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const ServicePlan&, const ServicePlan&) = default;
 };
 
 /// The Lifeline subsidy: $9.25/mo off Internet service for households below

@@ -20,6 +20,9 @@ struct Table1Summary {
   double required_up_mbps = 0.0;      ///< 20 (FCC)
   double peak_cell_demand_gbps = 0.0; ///< 599.8 Gbps
   double max_oversubscription = 0.0;  ///< ~35:1
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const Table1Summary&, const Table1Summary&) = default;
 };
 
 /// The paper's primary capacity model: a beam plan applied to a demand

@@ -17,6 +17,9 @@ struct LongTailPoint {
   double satellites = 0.0;               ///< y: constellation size required
   std::uint32_t beams_on_binding = 0;
   double binding_lat_deg = 0.0;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const LongTailPoint&, const LongTailPoint&) = default;
 };
 
 /// Builds the Figure-3 curve for one (beamspread, oversub_cap) pair.

@@ -29,6 +29,10 @@ struct OversubscriptionReport {
   std::uint32_t cells_above_cap = 0;
   /// Fraction of locations servable within the cap (0.9989).
   double servable_fraction_at_cap = 0.0;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const OversubscriptionReport&,
+                         const OversubscriptionReport&) = default;
 };
 
 /// Evaluates F1 for a profile at `oversub_cap`:1 (default the FCC 20:1).

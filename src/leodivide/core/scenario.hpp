@@ -35,6 +35,9 @@ struct Table2Row {
   double beamspread = 0.0;
   double satellites_full_service = 0.0;
   double satellites_capped = 0.0;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const Table2Row&, const Table2Row&) = default;
 };
 
 /// One Figure 3 curve.
@@ -42,6 +45,9 @@ struct Fig3Curve {
   double beamspread = 0.0;
   double oversub = 0.0;
   std::vector<LongTailPoint> points;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const Fig3Curve&, const Fig3Curve&) = default;
 };
 
 /// Everything the paper's evaluation reports.
@@ -56,6 +62,10 @@ struct AnalysisResults {
   std::vector<afford::PlanAffordability> fig4;
   double fig4_lifeline_threshold_income = 0.0;  ///< $66,450
   double fig4_starlink_threshold_income = 0.0;  ///< $72,000
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const AnalysisResults&,
+                         const AnalysisResults&) = default;
 };
 
 /// Runs the complete analysis.

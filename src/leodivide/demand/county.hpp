@@ -16,6 +16,9 @@ struct County {
   geo::GeoPoint centroid;
   double median_income_usd = 0.0;   ///< annual household median income
   std::uint64_t underserved_locations = 0;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const County&, const County&) = default;
 };
 
 /// Flat county table with FIPS lookup.

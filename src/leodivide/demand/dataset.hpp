@@ -30,6 +30,9 @@ struct CellDemand {
 
   /// Downlink demand [Gbps] at the federal 100 Mbps per location.
   [[nodiscard]] double demand_gbps() const noexcept;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const CellDemand&, const CellDemand&) = default;
 };
 
 /// Cell-level demand profile: the paper's working dataset.

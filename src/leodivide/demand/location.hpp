@@ -55,6 +55,9 @@ struct Location {
   [[nodiscard]] bool underserved() const noexcept {
     return !is_reliable(best_offer);
   }
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const Location&, const Location&) = default;
 };
 
 /// Per-location downlink demand [Gbps] implied by the federal definition:

@@ -120,6 +120,13 @@ void CsvWriter::write_field(std::string_view field, bool first) {
   out_ << csv_escape(field);
 }
 
+void CsvWriter::check_stream() const {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: stream write failed after record " +
+                             std::to_string(count_));
+  }
+}
+
 void CsvWriter::write_row(const CsvRow& row) {
   bool first = true;
   for (const auto& f : row) {
@@ -127,6 +134,7 @@ void CsvWriter::write_row(const CsvRow& row) {
     first = false;
   }
   out_ << '\n';
+  check_stream();
   ++count_;
 }
 
@@ -137,6 +145,7 @@ void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
     first = false;
   }
   out_ << '\n';
+  check_stream();
   ++count_;
 }
 

@@ -38,7 +38,10 @@ class CsvReader {
   std::size_t count_ = 0;
 };
 
-/// CSV writer with minimal quoting (quotes only when necessary).
+/// CSV writer with minimal quoting (quotes only when necessary). A stream
+/// that enters a failed state (disk full, closed pipe) raises
+/// std::runtime_error from write_row rather than silently truncating the
+/// output.
 class CsvWriter {
  public:
   explicit CsvWriter(std::ostream& out);
@@ -50,6 +53,7 @@ class CsvWriter {
 
  private:
   void write_field(std::string_view field, bool first);
+  void check_stream() const;
   std::ostream& out_;
   std::size_t count_ = 0;
 };

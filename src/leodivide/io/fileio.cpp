@@ -1,5 +1,6 @@
 #include "leodivide/io/fileio.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +18,30 @@ std::string read_text_file(const std::string& path) {
     throw std::runtime_error("read_text_file: read error on '" + path + "'");
   }
   return std::move(buf).str();
+}
+
+void write_text_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_text_file: cannot open '" + tmp + "'");
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write_text_file: write error on '" + tmp +
+                               "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_text_file: cannot rename '" + tmp +
+                             "' to '" + path + "'");
+  }
 }
 
 }  // namespace leodivide::io

@@ -1,8 +1,10 @@
 #pragma once
-// Whole-file reading. Shared by tools (leolint) and tests that need file
-// contents as a single string without hand-rolled stream loops.
+// Whole-file reading and atomic whole-file writing. Shared by tools
+// (leolint, ldsnap), the snapshot store and tests that need file contents
+// as a single string without hand-rolled stream loops.
 
 #include <string>
+#include <string_view>
 
 namespace leodivide::io {
 
@@ -10,5 +12,13 @@ namespace leodivide::io {
 /// embedded NUL bytes are preserved exactly). Throws std::runtime_error
 /// with the path in the message when the file cannot be opened or read.
 [[nodiscard]] std::string read_text_file(const std::string& path);
+
+/// Writes `contents` to `path` atomically: the bytes land in a temporary
+/// sibling file which is renamed over `path` only after a successful write
+/// and close, so readers never observe a half-written file and a crashed
+/// writer never corrupts an existing one. Binary mode — bytes are written
+/// exactly. Throws std::runtime_error (with the path) on any failure; the
+/// temporary is removed before throwing.
+void write_text_file(const std::string& path, std::string_view contents);
 
 }  // namespace leodivide::io

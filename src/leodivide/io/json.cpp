@@ -35,6 +35,12 @@ JsonWriter::JsonWriter(std::ostream& out, bool pretty)
 
 JsonWriter::~JsonWriter() = default;
 
+void JsonWriter::check_stream() const {
+  if (!out_) {
+    throw std::runtime_error("JsonWriter: stream write failed");
+  }
+}
+
 void JsonWriter::comma_and_indent() {
   if (!stack_.empty()) {
     if (has_items_.back()) out_ << ',';
@@ -61,6 +67,7 @@ void JsonWriter::begin_object() {
   out_ << '{';
   stack_.push_back(Frame::kObject);
   has_items_.push_back(false);
+  check_stream();
 }
 
 void JsonWriter::begin_object(std::string_view key) {
@@ -68,6 +75,7 @@ void JsonWriter::begin_object(std::string_view key) {
   out_ << '{';
   stack_.push_back(Frame::kObject);
   has_items_.push_back(false);
+  check_stream();
 }
 
 void JsonWriter::end_object() {
@@ -79,6 +87,7 @@ void JsonWriter::end_object() {
   has_items_.pop_back();
   if (pretty_ && had) out_ << '\n' << std::string(2 * stack_.size(), ' ');
   out_ << '}';
+  check_stream();
 }
 
 void JsonWriter::begin_array() {
@@ -89,6 +98,7 @@ void JsonWriter::begin_array() {
   out_ << '[';
   stack_.push_back(Frame::kArray);
   has_items_.push_back(false);
+  check_stream();
 }
 
 void JsonWriter::begin_array(std::string_view key) {
@@ -96,6 +106,7 @@ void JsonWriter::begin_array(std::string_view key) {
   out_ << '[';
   stack_.push_back(Frame::kArray);
   has_items_.push_back(false);
+  check_stream();
 }
 
 void JsonWriter::end_array() {
@@ -107,6 +118,7 @@ void JsonWriter::end_array() {
   has_items_.pop_back();
   if (pretty_ && had) out_ << '\n' << std::string(2 * stack_.size(), ' ');
   out_ << ']';
+  check_stream();
 }
 
 namespace {
@@ -121,21 +133,25 @@ std::string number_to_string(double v) {
 void JsonWriter::value(std::string_view key, std::string_view v) {
   key_prefix(key);
   out_ << '"' << json_escape(v) << '"';
+  check_stream();
 }
 
 void JsonWriter::value(std::string_view key, double v) {
   key_prefix(key);
   out_ << number_to_string(v);
+  check_stream();
 }
 
 void JsonWriter::value(std::string_view key, long long v) {
   key_prefix(key);
   out_ << v;
+  check_stream();
 }
 
 void JsonWriter::value(std::string_view key, bool v) {
   key_prefix(key);
   out_ << (v ? "true" : "false");
+  check_stream();
 }
 
 void JsonWriter::element(std::string_view v) {
@@ -144,6 +160,7 @@ void JsonWriter::element(std::string_view v) {
   }
   comma_and_indent();
   out_ << '"' << json_escape(v) << '"';
+  check_stream();
 }
 
 void JsonWriter::element(double v) {
@@ -152,6 +169,7 @@ void JsonWriter::element(double v) {
   }
   comma_and_indent();
   out_ << number_to_string(v);
+  check_stream();
 }
 
 void JsonWriter::element(long long v) {
@@ -160,6 +178,7 @@ void JsonWriter::element(long long v) {
   }
   comma_and_indent();
   out_ << v;
+  check_stream();
 }
 
 // ------------------------------------------------------------------ parser --

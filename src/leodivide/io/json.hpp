@@ -21,7 +21,9 @@ namespace leodivide::io {
 
 /// A streaming JSON writer with explicit begin/end calls. The writer tracks
 /// nesting and comma placement; misuse (ending a container that was never
-/// begun) throws std::logic_error.
+/// begun) throws std::logic_error. A stream that enters a failed state
+/// (disk full, closed pipe) raises std::runtime_error from the write call
+/// that observed it rather than silently truncating the document.
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& out, bool pretty = true);
@@ -57,6 +59,7 @@ class JsonWriter {
   enum class Frame { kObject, kArray };
   void comma_and_indent();
   void key_prefix(std::string_view key);
+  void check_stream() const;
   std::ostream& out_;
   bool pretty_;
   std::vector<Frame> stack_;

@@ -34,6 +34,9 @@ struct EpochCoverage {
                : static_cast<double>(locations_served) /
                      static_cast<double>(locations_total);
   }
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const EpochCoverage&, const EpochCoverage&) = default;
 };
 
 /// Summarises a schedule result into an epoch snapshot.

@@ -1,0 +1,377 @@
+#include "leodivide/snapshot/artifacts.hpp"
+
+#include <utility>
+
+namespace leodivide::snapshot {
+
+namespace {
+
+// Shared section encodings. Every vector is written as a u64 count
+// followed by fixed-layout records; strings are u32-length-prefixed.
+
+std::string encode_counties(const demand::CountyTable& counties) {
+  ByteWriter w;
+  w.u64(counties.size());
+  for (const demand::County& c : counties.all()) {
+    w.str(c.fips);
+    w.f64(c.centroid.lat_deg);
+    w.f64(c.centroid.lon_deg);
+    w.f64(c.median_income_usd);
+    w.u64(c.underserved_locations);
+  }
+  return std::move(w).take();
+}
+
+demand::CountyTable decode_counties(std::string_view payload) {
+  ByteReader r(payload);
+  const std::uint64_t n = r.u64();
+  std::vector<demand::County> counties;
+  counties.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    demand::County c;
+    c.fips = r.str();
+    c.centroid.lat_deg = r.f64();
+    c.centroid.lon_deg = r.f64();
+    c.median_income_usd = r.f64();
+    c.underserved_locations = r.u64();
+    counties.push_back(std::move(c));
+  }
+  r.expect_exhausted("counties section");
+  try {
+    return demand::CountyTable(std::move(counties));
+  } catch (const std::exception& e) {
+    // CountyTable rejects duplicate FIPS; map that to the typed error.
+    throw SnapshotError(std::string("LDSNAP: invalid county table: ") +
+                        e.what());
+  }
+}
+
+std::string encode_cells(const std::vector<demand::CellDemand>& cells) {
+  ByteWriter w;
+  w.u64(cells.size());
+  for (const demand::CellDemand& c : cells) {
+    w.u64(c.cell.bits());
+    w.f64(c.center.lat_deg);
+    w.f64(c.center.lon_deg);
+    w.u32(c.underserved);
+    w.u32(c.county_index);
+  }
+  return std::move(w).take();
+}
+
+std::vector<demand::CellDemand> decode_cells(std::string_view payload,
+                                             std::size_t county_count) {
+  ByteReader r(payload);
+  const std::uint64_t n = r.u64();
+  std::vector<demand::CellDemand> cells;
+  cells.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    demand::CellDemand c;
+    c.cell = hex::CellId::from_bits(r.u64());
+    c.center.lat_deg = r.f64();
+    c.center.lon_deg = r.f64();
+    c.underserved = r.u32();
+    c.county_index = r.u32();
+    if (c.county_index >= county_count) {
+      throw SnapshotError("LDSNAP: cell " + std::to_string(i) +
+                          " references county " +
+                          std::to_string(c.county_index) + " of " +
+                          std::to_string(county_count));
+    }
+    cells.push_back(c);
+  }
+  r.expect_exhausted("cells section");
+  return cells;
+}
+
+std::string encode_locations(const std::vector<demand::Location>& locations) {
+  ByteWriter w;
+  w.u64(locations.size());
+  for (const demand::Location& l : locations) {
+    w.u64(l.id);
+    w.f64(l.position.lat_deg);
+    w.f64(l.position.lon_deg);
+    w.u32(l.county_index);
+    w.f64(l.best_offer.down_mbps);
+    w.f64(l.best_offer.up_mbps);
+    w.u8(static_cast<std::uint8_t>(l.technology));
+  }
+  return std::move(w).take();
+}
+
+std::vector<demand::Location> decode_locations(std::string_view payload,
+                                               std::size_t county_count) {
+  ByteReader r(payload);
+  const std::uint64_t n = r.u64();
+  std::vector<demand::Location> locations;
+  locations.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    demand::Location l;
+    l.id = r.u64();
+    l.position.lat_deg = r.f64();
+    l.position.lon_deg = r.f64();
+    l.county_index = r.u32();
+    l.best_offer.down_mbps = r.f64();
+    l.best_offer.up_mbps = r.f64();
+    const std::uint8_t tech = r.u8();
+    if (tech > static_cast<std::uint8_t>(demand::Technology::kGeoSatellite)) {
+      throw SnapshotError("LDSNAP: location " + std::to_string(i) +
+                          " has unknown technology code " +
+                          std::to_string(tech));
+    }
+    l.technology = static_cast<demand::Technology>(tech);
+    if (l.county_index >= county_count) {
+      throw SnapshotError("LDSNAP: location " + std::to_string(i) +
+                          " references county " +
+                          std::to_string(l.county_index) + " of " +
+                          std::to_string(county_count));
+    }
+    locations.push_back(l);
+  }
+  r.expect_exhausted("locations section");
+  return locations;
+}
+
+void encode_f64_vec(ByteWriter& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  for (double x : v) w.f64(x);
+}
+
+std::vector<double> decode_f64_vec(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+SnapshotReader parse_expecting(std::string_view file, ArtifactKind kind) {
+  SnapshotReader reader = SnapshotReader::parse(file);
+  if (reader.kind() != kind) {
+    throw SnapshotError("LDSNAP: expected a " + std::string(to_string(kind)) +
+                        " snapshot, found " +
+                        std::string(to_string(reader.kind())));
+  }
+  return reader;
+}
+
+}  // namespace
+
+std::string serialize(const demand::DemandDataset& dataset) {
+  SnapshotWriter w(ArtifactKind::kLocations);
+  w.add_section("counties", encode_counties(dataset.counties()));
+  w.add_section("locations", encode_locations(dataset.locations()));
+  return std::move(w).finish();
+}
+
+demand::DemandDataset deserialize_dataset(std::string_view file) {
+  const SnapshotReader reader = parse_expecting(file, ArtifactKind::kLocations);
+  demand::CountyTable counties = decode_counties(reader.section("counties"));
+  std::vector<demand::Location> locations =
+      decode_locations(reader.section("locations"), counties.size());
+  return demand::DemandDataset(std::move(locations), std::move(counties));
+}
+
+std::string serialize(const demand::DemandProfile& profile) {
+  SnapshotWriter w(ArtifactKind::kProfile);
+  w.add_section("counties", encode_counties(profile.counties()));
+  w.add_section("cells", encode_cells(profile.cells()));
+  return std::move(w).finish();
+}
+
+demand::DemandProfile deserialize_profile(std::string_view file) {
+  const SnapshotReader reader = parse_expecting(file, ArtifactKind::kProfile);
+  demand::CountyTable counties = decode_counties(reader.section("counties"));
+  std::vector<demand::CellDemand> cells =
+      decode_cells(reader.section("cells"), counties.size());
+  return demand::DemandProfile(std::move(cells), std::move(counties));
+}
+
+std::string serialize(const core::AnalysisResults& results) {
+  ByteWriter w;
+  // Table 1, in declaration order.
+  const core::Table1Summary& t1 = results.table1;
+  w.f64(t1.ut_downlink_mhz);
+  w.f64(t1.total_mhz);
+  w.u32(t1.ut_beams);
+  w.u32(t1.total_beams);
+  w.f64(t1.spectral_efficiency);
+  w.f64(t1.max_cell_capacity_gbps);
+  w.u32(t1.peak_cell_users);
+  w.f64(t1.required_down_mbps);
+  w.f64(t1.required_up_mbps);
+  w.f64(t1.peak_cell_demand_gbps);
+  w.f64(t1.max_oversubscription);
+  // F1.
+  const core::OversubscriptionReport& f1 = results.f1;
+  w.f64(f1.cell_capacity_gbps);
+  w.f64(f1.peak_oversubscription);
+  w.u32(f1.max_locations_at_cap);
+  w.u64(f1.total_locations);
+  w.u64(f1.locations_above_cap);
+  w.u64(f1.locations_unservable_at_cap);
+  w.u32(f1.cells_above_cap);
+  w.f64(f1.servable_fraction_at_cap);
+  // Table 2.
+  w.u64(results.table2.size());
+  for (const core::Table2Row& row : results.table2) {
+    w.f64(row.beamspread);
+    w.f64(row.satellites_full_service);
+    w.f64(row.satellites_capped);
+  }
+  // Figure 2.
+  encode_f64_vec(w, results.fig2_beamspreads);
+  encode_f64_vec(w, results.fig2_oversubs);
+  w.u64(results.fig2_grid.size());
+  for (const std::vector<double>& row : results.fig2_grid) {
+    encode_f64_vec(w, row);
+  }
+  // Figure 3.
+  w.u64(results.fig3.size());
+  for (const core::Fig3Curve& curve : results.fig3) {
+    w.f64(curve.beamspread);
+    w.f64(curve.oversub);
+    w.u64(curve.points.size());
+    for (const core::LongTailPoint& p : curve.points) {
+      w.u64(p.locations_unserved);
+      w.f64(p.satellites);
+      w.u32(p.beams_on_binding);
+      w.f64(p.binding_lat_deg);
+    }
+  }
+  // Figure 4.
+  w.u64(results.fig4.size());
+  for (const afford::PlanAffordability& p : results.fig4) {
+    w.str(p.plan.name);
+    w.f64(p.plan.monthly_usd);
+    w.f64(p.plan.speeds.down_mbps);
+    w.f64(p.plan.speeds.up_mbps);
+    w.f64(p.income_required_usd);
+    w.f64(p.locations_unable);
+    w.f64(p.fraction_unable);
+  }
+  w.f64(results.fig4_lifeline_threshold_income);
+  w.f64(results.fig4_starlink_threshold_income);
+
+  SnapshotWriter sw(ArtifactKind::kAnalysis);
+  sw.add_section("analysis", std::move(w).take());
+  return std::move(sw).finish();
+}
+
+core::AnalysisResults deserialize_analysis(std::string_view file) {
+  const SnapshotReader reader = parse_expecting(file, ArtifactKind::kAnalysis);
+  ByteReader r(reader.section("analysis"));
+  core::AnalysisResults out;
+  core::Table1Summary& t1 = out.table1;
+  t1.ut_downlink_mhz = r.f64();
+  t1.total_mhz = r.f64();
+  t1.ut_beams = r.u32();
+  t1.total_beams = r.u32();
+  t1.spectral_efficiency = r.f64();
+  t1.max_cell_capacity_gbps = r.f64();
+  t1.peak_cell_users = r.u32();
+  t1.required_down_mbps = r.f64();
+  t1.required_up_mbps = r.f64();
+  t1.peak_cell_demand_gbps = r.f64();
+  t1.max_oversubscription = r.f64();
+  core::OversubscriptionReport& f1 = out.f1;
+  f1.cell_capacity_gbps = r.f64();
+  f1.peak_oversubscription = r.f64();
+  f1.max_locations_at_cap = r.u32();
+  f1.total_locations = r.u64();
+  f1.locations_above_cap = r.u64();
+  f1.locations_unservable_at_cap = r.u64();
+  f1.cells_above_cap = r.u32();
+  f1.servable_fraction_at_cap = r.f64();
+  const std::uint64_t n_table2 = r.u64();
+  out.table2.reserve(static_cast<std::size_t>(n_table2));
+  for (std::uint64_t i = 0; i < n_table2; ++i) {
+    core::Table2Row row;
+    row.beamspread = r.f64();
+    row.satellites_full_service = r.f64();
+    row.satellites_capped = r.f64();
+    out.table2.push_back(row);
+  }
+  out.fig2_beamspreads = decode_f64_vec(r);
+  out.fig2_oversubs = decode_f64_vec(r);
+  const std::uint64_t n_grid = r.u64();
+  out.fig2_grid.reserve(static_cast<std::size_t>(n_grid));
+  for (std::uint64_t i = 0; i < n_grid; ++i) {
+    out.fig2_grid.push_back(decode_f64_vec(r));
+  }
+  const std::uint64_t n_fig3 = r.u64();
+  out.fig3.reserve(static_cast<std::size_t>(n_fig3));
+  for (std::uint64_t i = 0; i < n_fig3; ++i) {
+    core::Fig3Curve curve;
+    curve.beamspread = r.f64();
+    curve.oversub = r.f64();
+    const std::uint64_t n_points = r.u64();
+    curve.points.reserve(static_cast<std::size_t>(n_points));
+    for (std::uint64_t k = 0; k < n_points; ++k) {
+      core::LongTailPoint p;
+      p.locations_unserved = r.u64();
+      p.satellites = r.f64();
+      p.beams_on_binding = r.u32();
+      p.binding_lat_deg = r.f64();
+      curve.points.push_back(p);
+    }
+    out.fig3.push_back(std::move(curve));
+  }
+  const std::uint64_t n_fig4 = r.u64();
+  out.fig4.reserve(static_cast<std::size_t>(n_fig4));
+  for (std::uint64_t i = 0; i < n_fig4; ++i) {
+    afford::PlanAffordability p;
+    p.plan.name = r.str();
+    p.plan.monthly_usd = r.f64();
+    p.plan.speeds.down_mbps = r.f64();
+    p.plan.speeds.up_mbps = r.f64();
+    p.income_required_usd = r.f64();
+    p.locations_unable = r.f64();
+    p.fraction_unable = r.f64();
+    out.fig4.push_back(std::move(p));
+  }
+  out.fig4_lifeline_threshold_income = r.f64();
+  out.fig4_starlink_threshold_income = r.f64();
+  r.expect_exhausted("analysis section");
+  return out;
+}
+
+std::string serialize(const std::vector<sim::EpochCoverage>& epochs) {
+  ByteWriter w;
+  w.u64(epochs.size());
+  for (const sim::EpochCoverage& e : epochs) {
+    w.f64(e.time_s);
+    w.u64(e.cells_total);
+    w.u64(e.cells_served);
+    w.u64(e.locations_total);
+    w.u64(e.locations_served);
+    w.f64(e.mean_beam_utilization);
+    w.u64(e.satellites_in_view);
+  }
+  SnapshotWriter sw(ArtifactKind::kEpochs);
+  sw.add_section("epochs", std::move(w).take());
+  return std::move(sw).finish();
+}
+
+std::vector<sim::EpochCoverage> deserialize_epochs(std::string_view file) {
+  const SnapshotReader reader = parse_expecting(file, ArtifactKind::kEpochs);
+  ByteReader r(reader.section("epochs"));
+  const std::uint64_t n = r.u64();
+  std::vector<sim::EpochCoverage> epochs;
+  epochs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sim::EpochCoverage e;
+    e.time_s = r.f64();
+    e.cells_total = static_cast<std::size_t>(r.u64());
+    e.cells_served = static_cast<std::size_t>(r.u64());
+    e.locations_total = r.u64();
+    e.locations_served = r.u64();
+    e.mean_beam_utilization = r.f64();
+    e.satellites_in_view = static_cast<std::size_t>(r.u64());
+    epochs.push_back(e);
+  }
+  r.expect_exhausted("epochs section");
+  return epochs;
+}
+
+}  // namespace leodivide::snapshot

@@ -1,0 +1,132 @@
+#include "leodivide/snapshot/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "leodivide/io/fileio.hpp"
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
+
+namespace leodivide::snapshot {
+
+namespace fs = std::filesystem;
+
+StageCache::StageCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("StageCache: cannot create '" + dir_ +
+                             "': " + ec.message());
+  }
+}
+
+std::string StageCache::blob_path(std::string_view stage,
+                                  const Fingerprint& fp) const {
+  std::string path = dir_;
+  path += '/';
+  path += stage;
+  path += '/';
+  path += fp.hex();
+  path += ".ldsnap";
+  return path;
+}
+
+std::optional<std::string> StageCache::load(std::string_view stage,
+                                            const Fingerprint& fp) const {
+  obs::Span span("snapshot.load");
+  const std::string path = blob_path(stage, fp);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("snapshot.misses").add();
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("snapshot.misses").add();
+    return std::nullopt;
+  }
+  std::string blob = std::move(buf).str();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().counter("snapshot.hits").add();
+  obs::registry().counter("snapshot.load_bytes").add(blob.size());
+  return blob;
+}
+
+void StageCache::store(std::string_view stage, const Fingerprint& fp,
+                       std::string_view blob) const {
+  obs::Span span("snapshot.store");
+  const std::string path = blob_path(stage, fp);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("StageCache: cannot create stage dir for '" +
+                             path + "': " + ec.message());
+  }
+  io::write_text_file(path, blob);
+  obs::registry().counter("snapshot.store_bytes").add(blob.size());
+}
+
+void StageCache::note_bad_blob() const noexcept {
+  hits_.fetch_sub(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::registry().counter("snapshot.bad_blobs").add();
+}
+
+namespace {
+
+std::mutex g_mutex;
+std::unique_ptr<StageCache> g_cache;
+bool g_initialized = false;
+
+void set_global_dir_locked(std::string dir) {
+  if (dir.empty()) {
+    g_cache.reset();
+  } else {
+    g_cache = std::make_unique<StageCache>(std::move(dir));
+  }
+  g_initialized = true;
+}
+
+}  // namespace
+
+StageCache* global_cache() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_initialized) {
+    const char* env = std::getenv("LEODIVIDE_SNAPSHOT_DIR");
+    set_global_dir_locked(env != nullptr ? std::string(env) : std::string());
+  }
+  return g_cache.get();
+}
+
+void set_global_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  set_global_dir_locked(std::move(dir));
+}
+
+bool parse_cli_arg(int argc, char** argv, int& i) {
+  const std::string_view arg = argv[i];
+  constexpr std::string_view kFlag = "--snapshot-dir";
+  if (arg == kFlag) {
+    if (i + 1 >= argc) {
+      throw std::runtime_error("--snapshot-dir requires a directory");
+    }
+    set_global_dir(argv[++i]);
+    return true;
+  }
+  if (arg.substr(0, kFlag.size()) == kFlag && arg.size() > kFlag.size() &&
+      arg[kFlag.size()] == '=') {
+    set_global_dir(std::string(arg.substr(kFlag.size() + 1)));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace leodivide::snapshot

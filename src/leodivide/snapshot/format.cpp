@@ -1,0 +1,226 @@
+#include "leodivide/snapshot/format.hpp"
+
+#include <utility>
+
+#include "leodivide/runtime/executor.hpp"
+
+namespace leodivide::snapshot {
+
+namespace {
+
+// Fixed chunk size for chunked_checksum. Boundaries must not depend on the
+// executor's concurrency or the digest would vary with the thread count.
+constexpr std::size_t kChecksumChunk = 1 << 20;
+
+[[noreturn]] void fail(std::string_view what, std::size_t offset) {
+  throw SnapshotError("LDSNAP: " + std::string(what) + " at byte offset " +
+                      std::to_string(offset));
+}
+
+}  // namespace
+
+std::string_view to_string(ArtifactKind kind) noexcept {
+  switch (kind) {
+    case ArtifactKind::kLocations: return "locations";
+    case ArtifactKind::kProfile: return "profile";
+    case ArtifactKind::kAnalysis: return "analysis";
+    case ArtifactKind::kEpochs: return "epochs";
+  }
+  return "unknown";
+}
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t chunked_checksum(std::string_view bytes,
+                               runtime::Executor& executor) {
+  if (bytes.empty()) return fnv1a64(bytes);
+  const std::size_t chunks = (bytes.size() + kChecksumChunk - 1) /
+                             kChecksumChunk;
+  std::vector<std::uint64_t> digests(chunks);
+  executor.run_tasks(chunks, [&](std::size_t i) {
+    const std::size_t lo = i * kChecksumChunk;
+    digests[i] = fnv1a64(bytes.substr(lo, kChecksumChunk));
+  });
+  // Fold the per-chunk digests in chunk order: feed each digest's eight
+  // little-endian bytes through the running FNV-1a state.
+  std::uint64_t h = kFnvOffset;
+  for (std::uint64_t d : digests) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= static_cast<std::uint8_t>(d >> (8 * b));
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+std::uint64_t chunked_checksum(std::string_view bytes) {
+  return chunked_checksum(bytes, runtime::global_executor());
+}
+
+// ------------------------------------------------------------ ByteWriter --
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) u8(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) u8(static_cast<std::uint8_t>(v >> (8 * b)));
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s);
+}
+
+// ------------------------------------------------------------ ByteReader --
+
+void ByteReader::require(std::size_t n) const {
+  if (n > data_.size() - pos_) {
+    fail("truncated input (need " + std::to_string(n) + " more byte(s), have " +
+             std::to_string(data_.size() - pos_) + ")",
+         pos_);
+  }
+}
+
+std::uint64_t ByteReader::read_le(std::size_t n) {
+  require(n);
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + b]))
+         << (8 * b);
+  }
+  pos_ += n;
+  return v;
+}
+
+std::uint8_t ByteReader::u8() { return static_cast<std::uint8_t>(read_le(1)); }
+
+std::uint16_t ByteReader::u16() {
+  return static_cast<std::uint16_t>(read_le(2));
+}
+
+std::uint32_t ByteReader::u32() {
+  return static_cast<std::uint32_t>(read_le(4));
+}
+
+std::uint64_t ByteReader::u64() { return read_le(8); }
+
+std::string_view ByteReader::bytes(std::size_t n) {
+  require(n);
+  const std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str(std::size_t max_len) {
+  const std::uint32_t n = u32();
+  if (n > max_len) {
+    fail("string length " + std::to_string(n) + " exceeds limit " +
+             std::to_string(max_len),
+         pos_ - 4);
+  }
+  return std::string(bytes(n));
+}
+
+void ByteReader::expect_exhausted(std::string_view what) const {
+  if (!exhausted()) {
+    fail(std::string(what) + ": " + std::to_string(remaining()) +
+             " trailing byte(s)",
+         pos_);
+  }
+}
+
+// --------------------------------------------------------- writer/reader --
+
+void SnapshotWriter::add_section(std::string name, std::string payload) {
+  sections_.push_back(Section{std::move(name), std::move(payload)});
+}
+
+std::string SnapshotWriter::finish() && {
+  ByteWriter w;
+  w.bytes(kMagic);
+  w.u16(kEndianMarker);
+  w.u16(kFormatVersion);
+  w.u16(static_cast<std::uint16_t>(kind_));
+  w.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    w.str(s.name);
+    w.u64(s.payload.size());
+    w.bytes(s.payload);
+    w.u64(chunked_checksum(s.payload));
+  }
+  return std::move(w).take();
+}
+
+SnapshotReader SnapshotReader::parse(std::string_view file) {
+  ByteReader r(file);
+  if (std::string_view magic = r.bytes(kMagic.size()); magic != kMagic) {
+    fail("bad magic (not an LDSNAP file)", 0);
+  }
+  if (const std::uint16_t endian = r.u16(); endian != kEndianMarker) {
+    if (endian == 0xFFFE) {
+      fail("byte-swapped endian marker (snapshot written on a big-endian "
+           "host)",
+           kMagic.size());
+    }
+    fail("bad endian marker", kMagic.size());
+  }
+  SnapshotReader out;
+  out.version_ = r.u16();
+  if (out.version_ != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(out.version_) +
+             " (reader understands " + std::to_string(kFormatVersion) + ")",
+         kMagic.size() + 2);
+  }
+  const std::uint16_t kind = r.u16();
+  if (kind < static_cast<std::uint16_t>(ArtifactKind::kLocations) ||
+      kind > static_cast<std::uint16_t>(ArtifactKind::kEpochs)) {
+    fail("unknown artifact kind " + std::to_string(kind), kMagic.size() + 4);
+  }
+  out.kind_ = static_cast<ArtifactKind>(kind);
+  const std::uint32_t n_sections = r.u32();
+  out.sections_.reserve(n_sections);
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    Section s;
+    s.name = r.str();
+    const std::uint64_t len = r.u64();
+    if (len > r.remaining()) {
+      fail("section '" + s.name + "' claims " + std::to_string(len) +
+               " byte(s) but only " + std::to_string(r.remaining()) +
+               " remain",
+           r.offset() - 8);
+    }
+    s.payload = r.bytes(static_cast<std::size_t>(len));
+    s.checksum = r.u64();
+    if (const std::uint64_t got = chunked_checksum(s.payload);
+        got != s.checksum) {
+      throw SnapshotError("LDSNAP: checksum mismatch in section '" + s.name +
+                          "' (stored " + std::to_string(s.checksum) +
+                          ", computed " + std::to_string(got) + ")");
+    }
+    out.sections_.push_back(std::move(s));
+  }
+  r.expect_exhausted("after last section");
+  return out;
+}
+
+std::string_view SnapshotReader::section(std::string_view name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) return s.payload;
+  }
+  throw SnapshotError("LDSNAP: missing section '" + std::string(name) + "'");
+}
+
+}  // namespace leodivide::snapshot

@@ -1,0 +1,185 @@
+#pragma once
+// LDSNAP — the library's versioned little-endian binary snapshot container.
+// A snapshot file holds one serialized pipeline artifact (see
+// artifacts.hpp) as named sections, each carried with its own FNV-1a
+// checksum so corruption is detected section-by-section:
+//
+//   offset 0 : char[6]  magic "LDSNAP"
+//   offset 6 : u16      endian marker 0xFEFF (bytes FF FE when little-endian)
+//   offset 8 : u16      format version (kFormatVersion)
+//   offset 10: u16      artifact kind (ArtifactKind)
+//   offset 12: u32      section count
+//   then per section:
+//     u32 name length, name bytes,
+//     u64 payload length, payload bytes,
+//     u64 chunked FNV-1a checksum of the payload
+//
+// All multi-byte integers are little-endian regardless of host order;
+// doubles travel as the little-endian bytes of their IEEE-754 bit pattern
+// (std::bit_cast — never reinterpret_cast, and never a raw cast of
+// untrusted bytes). Readers are bounds-checked: every malformed input —
+// truncation, bad magic, wrong endianness, unknown version, checksum
+// mismatch, trailing garbage — surfaces as a typed SnapshotError, not UB.
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leodivide::runtime {
+class Executor;
+}
+
+namespace leodivide::snapshot {
+
+/// Current LDSNAP format version. Bump on any layout change; readers
+/// reject every version they do not know.
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+/// The endianness canary written at offset 6. A snapshot produced by a
+/// hypothetical big-endian writer reads back as 0xFFFE and is rejected.
+inline constexpr std::uint16_t kEndianMarker = 0xFEFF;
+
+/// The file magic ("LDSNAP", no terminator).
+inline constexpr std::string_view kMagic{"LDSNAP"};
+
+/// Which pipeline artifact a snapshot holds.
+enum class ArtifactKind : std::uint16_t {
+  kLocations = 1,  ///< demand::DemandDataset (expanded Location records)
+  kProfile = 2,    ///< demand::DemandProfile (per-cell aggregates)
+  kAnalysis = 3,   ///< core::AnalysisResults (sizing/affordability results)
+  kEpochs = 4,     ///< std::vector<sim::EpochCoverage> (sim epoch summaries)
+};
+
+/// Human-readable artifact-kind name ("locations", "profile", ...).
+[[nodiscard]] std::string_view to_string(ArtifactKind kind) noexcept;
+
+/// Typed error for every malformed, truncated or corrupted snapshot.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// 64-bit FNV-1a over a byte range, continuing from `seed` (pass the
+/// default to start a fresh hash).
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = kFnvOffset);
+
+/// Section-payload checksum: the payload is split at fixed 1 MiB
+/// boundaries, each chunk is FNV-1a hashed independently (in parallel over
+/// `executor` — chunk boundaries are fixed, so the digest is identical for
+/// every thread count), and the per-chunk digests are folded in chunk
+/// order. The overload without an executor runs on the process-global one.
+[[nodiscard]] std::uint64_t chunked_checksum(std::string_view bytes,
+                                             runtime::Executor& executor);
+[[nodiscard]] std::uint64_t chunked_checksum(std::string_view bytes);
+
+/// Little-endian byte-buffer writer. Appends primitives to an owned
+/// string; no pointer punning anywhere.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(std::string_view b) { buf_.append(b); }
+  /// Length-prefixed string: u32 length + bytes.
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() && noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte range. Every
+/// read validates the remaining length first and throws SnapshotError
+/// (with the byte offset) on under-run; untrusted bytes are assembled by
+/// shifts, never cast.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::string_view bytes(std::size_t n);
+  /// Length-prefixed string written by ByteWriter::str. `max_len` guards
+  /// against absurd lengths decoded from corrupted input.
+  [[nodiscard]] std::string str(std::size_t max_len = kMaxStringLen);
+
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+  /// Throws SnapshotError unless every byte has been consumed.
+  void expect_exhausted(std::string_view what) const;
+
+  static constexpr std::size_t kMaxStringLen = 1 << 20;
+
+ private:
+  void require(std::size_t n) const;
+  [[nodiscard]] std::uint64_t read_le(std::size_t n);
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Builds one LDSNAP file in memory. Sections are emitted in add order.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(ArtifactKind kind) noexcept : kind_(kind) {}
+
+  void add_section(std::string name, std::string payload);
+
+  /// Renders header + sections + checksums; the writer is spent afterwards.
+  [[nodiscard]] std::string finish() &&;
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+  ArtifactKind kind_;
+  std::vector<Section> sections_;
+};
+
+/// Parses and validates one LDSNAP file (header, bounds, per-section
+/// checksums, no trailing garbage). Holds views into the caller's buffer,
+/// which must outlive the reader.
+class SnapshotReader {
+ public:
+  struct Section {
+    std::string name;
+    std::string_view payload;
+    std::uint64_t checksum = 0;
+  };
+
+  /// Throws SnapshotError on any malformation.
+  [[nodiscard]] static SnapshotReader parse(std::string_view file);
+
+  [[nodiscard]] ArtifactKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint16_t version() const noexcept { return version_; }
+  [[nodiscard]] const std::vector<Section>& sections() const noexcept {
+    return sections_;
+  }
+  /// Payload of the section named `name`; throws SnapshotError if absent.
+  [[nodiscard]] std::string_view section(std::string_view name) const;
+
+ private:
+  SnapshotReader() = default;
+  ArtifactKind kind_ = ArtifactKind::kProfile;
+  std::uint16_t version_ = 0;
+  std::vector<Section> sections_;
+};
+
+}  // namespace leodivide::snapshot

@@ -1,0 +1,84 @@
+// Example binaries must reject unknown `--flags` with a nonzero exit and
+// name the offending flag — a typo'd `--snapshot-dri` must never silently
+// run a full (uncached) analysis. Each case spawns the real binary via
+// popen and inspects its exit status and output.
+//
+// Binary locations come from the LEODIVIDE_EXAMPLES_DIR compile definition
+// (the build's examples/ output directory, set in tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs `command` with stderr folded into stdout; returns exit code and
+/// combined output.
+RunResult run_command(const std::string& command) {
+  RunResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> chunk{};
+  while (std::fgets(chunk.data(), static_cast<int>(chunk.size()), pipe) !=
+         nullptr) {
+    result.output += chunk.data();
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+std::string example_path(const std::string& name) {
+  return (fs::path(LEODIVIDE_EXAMPLES_DIR) / name).string();
+}
+
+class ExamplesCli : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExamplesCli, RejectsUnknownFlagNonzeroAndNamesIt) {
+  const std::string binary = example_path(GetParam());
+  if (!fs::exists(binary)) {
+    GTEST_SKIP() << binary << " not built";
+  }
+  const RunResult r = run_command(binary + " --definitely-not-a-flag");
+  EXPECT_NE(r.exit_code, 0) << "unknown flag accepted by " << GetParam()
+                            << "\noutput:\n"
+                            << r.output;
+  EXPECT_NE(r.output.find("--definitely-not-a-flag"), std::string::npos)
+      << GetParam() << " did not name the offending flag:\n"
+      << r.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExamples, ExamplesCli,
+                         ::testing::Values("national_analysis",
+                                           "coverage_sim",
+                                           "affordability_report",
+                                           "constellation_planner",
+                                           "quickstart"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ExamplesCli, SnapshotDirWithoutValueRejected) {
+  const std::string binary = example_path("national_analysis");
+  if (!fs::exists(binary)) {
+    GTEST_SKIP() << binary << " not built";
+  }
+  const RunResult r = run_command(binary + " --snapshot-dir");
+  EXPECT_NE(r.exit_code, 0) << "bare --snapshot-dir accepted:\n" << r.output;
+}
+
+}  // namespace

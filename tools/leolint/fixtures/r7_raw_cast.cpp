@@ -1,0 +1,13 @@
+// Fixture: R7 raw-cast — reinterpret_cast outside snapshot/.
+#include <cstdint>
+
+double bad_pun(std::uint64_t bits) {
+  return *reinterpret_cast<double*>(&bits);  // line 5
+}
+const char* bad_bytes(const std::uint8_t* p) {
+  return reinterpret_cast<const char*>(p);  // line 8
+}
+// leolint:allow(raw-cast): mmap'd page is alignment-checked two lines up
+const char* waived(const void* p) { return reinterpret_cast<const char*>(p); }
+// A comment mentioning reinterpret_cast must NOT fire.
+const char* ok_string() { return "reinterpret_cast<double*>"; }

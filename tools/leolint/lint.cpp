@@ -165,7 +165,7 @@ struct Annotation {
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> kRules{
       "no-rand",     "no-wallclock",    "unordered-iter",
-      "float-eq",    "pragma-once",     "using-namespace",
+      "float-eq",    "pragma-once",     "using-namespace", "raw-cast",
   };
   return kRules;
 }
@@ -382,6 +382,7 @@ std::vector<Finding> lint_source(std::string_view path,
   const bool exempt_rand = path_has_component(path, "stats");
   const bool exempt_clock =
       path_has_component(path, "obs") || path_has_component(path, "bench");
+  const bool exempt_cast = path_has_component(path, "snapshot");
 
   // Raw findings before annotation filtering: (line, rule, message).
   std::vector<Finding> raw_findings;
@@ -432,6 +433,7 @@ std::vector<Finding> lint_source(std::string_view path,
   static const std::regex kClock(
       R"(\b(?:system_clock|steady_clock|high_resolution_clock|utc_clock|file_clock)\s*::\s*now\s*\(|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))");
   static const std::regex kUsingNamespace(R"(^\s*using\s+namespace\b)");
+  static const std::regex kRawCast(R"(\breinterpret_cast\b)");
   static const std::regex kRangeFor(R"(\bfor\s*\()");
   static const std::regex kBeginCall(R"(\b(\w+)\s*\.\s*c?begin\s*\()");
 
@@ -464,6 +466,14 @@ std::vector<Finding> lint_source(std::string_view path,
     if (header && std::regex_search(code, kUsingNamespace)) {
       report(line, "using-namespace",
              "'using namespace' in a header leaks into every includer");
+    }
+
+    // R7 — reinterpret_cast outside snapshot/'s checked reader helpers.
+    if (!exempt_cast && std::regex_search(code, kRawCast)) {
+      report(line, "raw-cast",
+             "reinterpret_cast punning is UB on untrusted or misaligned "
+             "bytes; use std::bit_cast or the snapshot/ bounds-checked "
+             "readers");
     }
 
     // R3a — explicit iterator access on a known unordered container.

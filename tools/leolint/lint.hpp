@@ -14,6 +14,9 @@
 //                       operands declared double/float in the same file)
 //   R5 pragma-once      headers must contain #pragma once
 //   R6 using-namespace  `using namespace` in headers
+//   R7 raw-cast         reinterpret_cast outside snapshot/ (the LDSNAP
+//                       bounds-checked readers are the one sanctioned
+//                       place for byte-level reinterpretation)
 //
 // A finding can be waived with a same-line (or immediately preceding
 // whole-line) annotation carrying a justification:
@@ -43,8 +46,9 @@ struct Finding {
 };
 
 /// Lints one file's contents. `path` drives path-based exemptions (a
-/// `stats` path component waives R1; `obs` or `bench` components waive R2)
-/// and whether header-only rules (R5, R6) apply.
+/// `stats` path component waives R1; `obs` or `bench` components waive R2;
+/// a `snapshot` component waives R7) and whether header-only rules (R5,
+/// R6) apply.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
                                                std::string_view text);
 

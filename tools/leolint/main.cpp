@@ -20,7 +20,8 @@ void usage() {
       "1 findings, 2 usage or I/O error.\n"
       "\n"
       "Rules: no-rand (R1), no-wallclock (R2), unordered-iter (R3),\n"
-      "float-eq (R4), pragma-once (R5), using-namespace (R6).\n"
+      "float-eq (R4), pragma-once (R5), using-namespace (R6),\n"
+      "raw-cast (R7).\n"
       "Waive a site with: // leolint:allow(rule-id): justification\n",
       stderr);
 }

@@ -76,6 +76,13 @@ TEST(LeolintFixtures, R6UsingNamespace) {
   EXPECT_EQ(found, expected);
 }
 
+TEST(LeolintFixtures, R7RawCast) {
+  const auto found = shape(lint_fixture("r7_raw_cast.cpp"));
+  const std::vector<std::pair<std::size_t, std::string>> expected{
+      {5, "raw-cast"}, {8, "raw-cast"}};
+  EXPECT_EQ(found, expected);
+}
+
 TEST(LeolintFixtures, BadAnnotationsAreRejected) {
   const auto found = shape(lint_fixture("bad_annotation.cpp"));
   // An invalid annotation does not waive the underlying finding, and is
@@ -104,6 +111,13 @@ TEST(LeolintRules, PathExemptions) {
   EXPECT_TRUE(
       lint_source("bench/bench_common.hpp", "#pragma once\n" + clock).empty());
   EXPECT_EQ(lint_source("src/leodivide/sim/clock.cpp", clock).size(), 1U);
+
+  const std::string cast =
+      "const char* c(const void* p) {"
+      " return reinterpret_cast<const char*>(p); }\n";
+  EXPECT_TRUE(
+      lint_source("src/leodivide/snapshot/format.cpp", cast).empty());
+  EXPECT_EQ(lint_source("src/leodivide/io/csv.cpp", cast).size(), 1U);
 }
 
 // The acceptance-criteria scenario: seeding a rand() call into
