@@ -3,7 +3,11 @@
 // sizing sweep. With `--threads N` it instead runs the parallel-scaling
 // harness: aggregate >= 5M synthetic locations serially and on an
 // N-thread pool, check the outputs are byte-identical, and report the
-// speedup as JSON lines.
+// speedup as JSON lines. With `--sim-schedule` it runs the scheduling
+// kernel comparison: indexed (VisIndex) vs naive full scan over a
+// cells x sats sweep, verifying byte-identical results and emitting
+// {"bench":"sim.schedule",...} JSON lines that tools/bench_check.py
+// gates against BENCH_sim.json.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "leodivide/geo/angle.hpp"
 #include "leodivide/runtime/thread_pool.hpp"
 
 #include "leodivide/core/longtail.hpp"
@@ -29,6 +34,8 @@
 #include "leodivide/orbit/isl.hpp"
 #include "leodivide/orbit/tle.hpp"
 #include "leodivide/sim/maxflow.hpp"
+#include "leodivide/sim/scheduler.hpp"
+#include "leodivide/sim/workspace.hpp"
 #include "leodivide/stats/distributions.hpp"
 
 namespace {
@@ -188,6 +195,37 @@ void BM_OptimalSlotBound(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalSlotBound);
 
+void BM_ScheduleShell1Indexed(benchmark::State& state) {
+  const auto states = orbit::propagate_all(
+      orbit::make_constellation(orbit::starlink_shell1()), 100.0);
+  const auto cells = sim::BeamScheduler::cells_from_profile(
+      profile_2pct(), core::SatelliteCapacityModel(), 20.0);
+  const sim::BeamScheduler scheduler(cells, sim::SchedulerConfig{});
+  sim::ScheduleWorkspace ws;
+  sim::ScheduleResult result;
+  for (auto _ : state) {
+    scheduler.schedule(states, ws, result);
+    benchmark::DoNotOptimize(result.locations_served);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_ScheduleShell1Indexed);
+
+void BM_ScheduleShell1Naive(benchmark::State& state) {
+  const auto states = orbit::propagate_all(
+      orbit::make_constellation(orbit::starlink_shell1()), 100.0);
+  const auto cells = sim::BeamScheduler::cells_from_profile(
+      profile_2pct(), core::SatelliteCapacityModel(), 20.0);
+  const sim::BeamScheduler scheduler(cells, sim::SchedulerConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule_reference(states));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_ScheduleShell1Naive);
+
 std::string profile_bytes(const demand::DemandProfile& profile) {
   std::ostringstream cells, counties;
   profile.save_csv(cells, counties);
@@ -249,6 +287,90 @@ int run_scaling_harness(std::size_t threads) {
   return 0;
 }
 
+// One `--sim-schedule` comparison scale: a synthetic cell field against a
+// Walker shell of planes x sats_per_plane satellites.
+struct SimScheduleCase {
+  std::size_t n_cells;
+  std::uint32_t planes;
+  std::uint32_t sats_per_plane;
+};
+
+std::vector<sim::SchedCell> synthetic_sched_cells(std::size_t n) {
+  // Cells across the shell's covered latitudes (+-56 deg for the 53 deg
+  // shell), all longitudes, mixed demand and beam needs.
+  stats::Pcg32 rng(4242);
+  std::vector<sim::SchedCell> cells;
+  cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::SchedCell c;
+    c.center = {-56.0 + rng.next_double() * 112.0,
+                -180.0 + rng.next_double() * 360.0};
+    c.ecef_km = geo::spherical_to_cartesian(c.center, geo::kEarthRadiusKm);
+    c.locations = 1 + rng.next_below(2000);
+    c.beams_needed = 1 + rng.next_below(3);
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+// Best-of-`reps` wall time of `fn` in milliseconds (warm caller assumed).
+template <typename Fn>
+double best_of_ms(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const bench::WallTimer timer;
+    fn();
+    const double ms = timer.elapsed_ms();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// The `--sim-schedule` kernel-comparison harness. Returns the process exit
+// code: nonzero when the kernels disagree on any case.
+int run_sim_schedule_harness() {
+  bench::banner("micro_perf: sim.schedule indexed vs naive kernel");
+  int rc = 0;
+  const SimScheduleCase cases[] = {{1000, 40, 25}, {4000, 80, 50}};
+  for (const SimScheduleCase& c : cases) {
+    const auto cells = synthetic_sched_cells(c.n_cells);
+    const sim::BeamScheduler scheduler(cells, sim::SchedulerConfig{});
+    const orbit::WalkerShell shell{53.0, 550.0, c.planes, c.sats_per_plane,
+                                   1};
+    const auto states =
+        orbit::propagate_all(orbit::make_constellation(shell), 100.0);
+    std::cout << "  case: " << c.n_cells << " cells x " << states.size()
+              << " sats\n";
+
+    sim::ScheduleWorkspace ws;
+    sim::ScheduleResult indexed;
+    scheduler.schedule(states, ws, indexed);  // also warms the workspace
+    const sim::ScheduleResult naive = scheduler.schedule_reference(states);
+    if (!(indexed == naive)) {
+      std::cerr << "FAIL: indexed and naive schedules differ at "
+                << c.n_cells << "x" << states.size() << "\n";
+      rc = 1;
+      continue;
+    }
+    std::cout << "  outputs:  byte-identical (served "
+              << indexed.locations_served << "/" << indexed.locations_total
+              << " locations)\n";
+
+    const double naive_ms = best_of_ms(
+        3, [&] { benchmark::DoNotOptimize(scheduler.schedule_reference(states)); });
+    const double indexed_ms =
+        best_of_ms(5, [&] { scheduler.schedule(states, ws, indexed); });
+    std::cout << "  naive:    " << naive_ms << " ms\n"
+              << "  indexed:  " << indexed_ms << " ms\n"
+              << "  speedup:  " << naive_ms / indexed_ms << "x\n";
+    std::cout << "{\"bench\":\"sim.schedule\",\"cells\":" << c.n_cells
+              << ",\"sats\":" << states.size() << ",\"naive_ms\":" << naive_ms
+              << ",\"indexed_ms\":" << indexed_ms
+              << ",\"speedup\":" << naive_ms / indexed_ms << "}" << std::endl;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +380,7 @@ int main(int argc, char** argv) {
   namespace obs = leodivide::obs;
   obs::Options obs_options = obs::options_from_env();
   std::size_t threads = 0;
+  bool sim_schedule = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -266,6 +389,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<std::size_t>(
           std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg == "--sim-schedule") {
+      sim_schedule = true;
     } else if (obs::parse_cli_arg(obs_options, argc, argv, i)) {
       // Observability flag; consumed.
     } else {
@@ -275,7 +400,9 @@ int main(int argc, char** argv) {
   obs::apply(obs_options);
 
   int rc = 0;
-  if (threads > 0) {
+  if (sim_schedule) {
+    rc = run_sim_schedule_harness();
+  } else if (threads > 0) {
     rc = run_scaling_harness(threads);
   } else {
     int bench_argc = static_cast<int>(args.size());

@@ -1,6 +1,7 @@
 #include "leodivide/orbit/propagate.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "leodivide/geo/angle.hpp"
 
@@ -14,14 +15,27 @@ geo::Vec3 ecef_position(const CircularOrbit& orbit, double t_s) {
   return {eci.x * c + eci.y * s, -eci.x * s + eci.y * c, eci.z};
 }
 
+void propagate_all(const std::vector<CircularOrbit>& orbits, double t_s,
+                   std::vector<SatState>& out) {
+  // One Earth-rotation angle per epoch, not per satellite: every orbit
+  // shares t, so cos/sin(theta) are hoisted. The rotation expression is the
+  // one from ecef_position verbatim — positions stay bit-identical.
+  const double theta = geo::kEarthRotationRadPerSec * t_s;
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  out.resize(orbits.size());
+  for (std::size_t i = 0; i < orbits.size(); ++i) {
+    const geo::Vec3 eci = eci_position(orbits[i], t_s);
+    const geo::Vec3 ecef{eci.x * c + eci.y * s, -eci.x * s + eci.y * c,
+                         eci.z};
+    out[i] = SatState{ecef, geo::cartesian_to_spherical(ecef)};
+  }
+}
+
 std::vector<SatState> propagate_all(const std::vector<CircularOrbit>& orbits,
                                     double t_s) {
   std::vector<SatState> out;
-  out.reserve(orbits.size());
-  for (const auto& orbit : orbits) {
-    const geo::Vec3 ecef = ecef_position(orbit, t_s);
-    out.push_back(SatState{ecef, geo::cartesian_to_spherical(ecef)});
-  }
+  propagate_all(orbits, t_s, out);
   return out;
 }
 

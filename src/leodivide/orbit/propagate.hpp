@@ -17,6 +17,13 @@ struct SatState {
 /// ECEF position of one satellite at time t since epoch.
 [[nodiscard]] geo::Vec3 ecef_position(const CircularOrbit& orbit, double t_s);
 
+/// States of every satellite in `orbits` at time t, written into `out`
+/// (resized to match). The Earth-rotation cos/sin pair is computed once for
+/// the whole batch; reusing `out` across epochs makes the call
+/// allocation-free at steady state.
+void propagate_all(const std::vector<CircularOrbit>& orbits, double t_s,
+                   std::vector<SatState>& out);
+
 /// States of every satellite in `orbits` at time t.
 [[nodiscard]] std::vector<SatState> propagate_all(
     const std::vector<CircularOrbit>& orbits, double t_s);

@@ -2,21 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "leodivide/geo/angle.hpp"
 
 namespace leodivide::orbit {
 
-double elevation_deg(const geo::GeoPoint& ground,
-                     const geo::Vec3& sat_ecef_km) {
-  const geo::Vec3 obs = geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm);
+namespace {
+
+// Elevation of a satellite against a precomputed observer position and
+// local "up" radial. Neither depends on the satellite, so the batch queries
+// hoist them out of their loops instead of re-deriving both per state.
+double elevation_from_observer(const geo::Vec3& obs, const geo::Vec3& up,
+                               const geo::Vec3& sat_ecef_km) {
   const geo::Vec3 los = sat_ecef_km - obs;
   const double range = los.norm();
   // leolint:allow(float-eq): exact-zero guard before dividing by range
   if (range == 0.0) return 90.0;
-  const geo::Vec3 up = obs.unit();
   const double sin_el = los.dot(up) / range;
   return geo::rad2deg(std::asin(std::clamp(sin_el, -1.0, 1.0)));
+}
+
+}  // namespace
+
+double elevation_deg(const geo::GeoPoint& ground,
+                     const geo::Vec3& sat_ecef_km) {
+  const geo::Vec3 obs = geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm);
+  return elevation_from_observer(obs, obs.unit(), sat_ecef_km);
 }
 
 double slant_range_km(const geo::GeoPoint& ground,
@@ -33,9 +45,14 @@ bool is_visible(const geo::GeoPoint& ground, const geo::Vec3& sat_ecef_km,
 std::vector<std::size_t> visible_satellites(const geo::GeoPoint& ground,
                                             const std::vector<SatState>& states,
                                             double min_elevation_deg) {
+  const geo::Vec3 obs =
+      geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm);
+  const geo::Vec3 up = obs.unit();
   std::vector<std::size_t> out;
+  out.reserve(states.size());
   for (std::size_t i = 0; i < states.size(); ++i) {
-    if (is_visible(ground, states[i].ecef_km, min_elevation_deg)) {
+    if (elevation_from_observer(obs, up, states[i].ecef_km) >=
+        min_elevation_deg) {
       out.push_back(i);
     }
   }
@@ -45,9 +62,12 @@ std::vector<std::size_t> visible_satellites(const geo::GeoPoint& ground,
 std::size_t count_visible(const geo::GeoPoint& ground,
                           const std::vector<SatState>& states,
                           double min_elevation_deg) {
+  const geo::Vec3 obs =
+      geo::spherical_to_cartesian(ground, geo::kEarthRadiusKm);
+  const geo::Vec3 up = obs.unit();
   std::size_t n = 0;
   for (const auto& s : states) {
-    if (is_visible(ground, s.ecef_km, min_elevation_deg)) ++n;
+    if (elevation_from_observer(obs, up, s.ecef_km) >= min_elevation_deg) ++n;
   }
   return n;
 }

@@ -1,0 +1,66 @@
+#pragma once
+// Per-epoch satellite spatial index: buckets satellites by sub-satellite
+// point into a lat-band x lon-sector geodesic grid sized from the coverage
+// central angle psi, so a ground cell queries only the O(k) satellites whose
+// buckets can intersect its coverage cone instead of scanning the whole
+// constellation. The candidate set is a strict superset of the truly
+// visible set (callers keep their exact angular test as the final filter)
+// and is duplicate-free; query() emits it in ascending satellite index,
+// query_unsorted() in bucket-major order for callers whose selection
+// tie-breaks on index explicitly (the scheduler). Either way, downstream
+// selection is byte-identical to a full ascending scan.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "leodivide/orbit/propagate.hpp"
+
+namespace leodivide::orbit {
+
+class VisIndex {
+ public:
+  /// Rebuilds the index over `sats` for a coverage central angle of
+  /// `psi_rad` (must be > 0). Internal storage is reused: rebuilding at an
+  /// unchanged constellation size and coverage angle performs no heap
+  /// allocation after the first build.
+  void build(const std::vector<SatState>& sats, double psi_rad);
+
+  /// Fills `out` (cleared first) with the index of every satellite whose
+  /// bucket can contain a sub-point within psi of `cell` — a superset of
+  /// the satellites actually inside the coverage cone — sorted ascending.
+  /// Handles polar caps (all longitudes scanned once the cap reaches a
+  /// pole) and the date-line longitude wrap.
+  void query(const geo::GeoPoint& cell, std::vector<std::uint32_t>& out) const;
+
+  /// As query(), but emits candidates in bucket-major order instead of
+  /// globally sorted (the set is identical and duplicate-free — buckets
+  /// partition the satellites). The scheduler's hot path uses this form:
+  /// its satellite selection tie-breaks on index explicitly, so it does not
+  /// pay the per-cell sort, which otherwise dominates the query cost.
+  void query_unsorted(const geo::GeoPoint& cell,
+                      std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t sat_count() const noexcept { return n_sats_; }
+  [[nodiscard]] std::uint32_t band_count() const noexcept { return n_bands_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return bucket_start_.empty() ? 0 : bucket_start_.size() - 1;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t band_of(double lat_deg) const noexcept;
+  [[nodiscard]] std::uint32_t sector_of(std::uint32_t band,
+                                        double lon_deg) const noexcept;
+
+  std::size_t n_sats_ = 0;
+  std::uint32_t n_bands_ = 0;
+  double band_height_deg_ = 180.0;
+  double psi_deg_ = 0.0;
+  std::vector<std::uint32_t> band_sectors_;  ///< lon sectors per band
+  std::vector<std::uint32_t> band_offset_;   ///< first bucket id per band
+  std::vector<std::uint32_t> bucket_start_;  ///< CSR offsets (buckets + 1)
+  std::vector<std::uint32_t> bucket_sats_;   ///< ascending within a bucket
+  std::vector<std::uint32_t> sat_bucket_;    ///< build scratch
+};
+
+}  // namespace leodivide::orbit

@@ -9,7 +9,8 @@
 namespace leodivide::sim {
 
 EpochCoverage summarize_epoch(const ScheduleResult& schedule,
-                              std::size_t cells_total, double time_s) {
+                              std::size_t cells_total, double time_s,
+                              std::vector<std::uint32_t>& scratch) {
   EpochCoverage out;
   out.time_s = time_s;
   out.cells_total = cells_total;
@@ -18,14 +19,22 @@ EpochCoverage summarize_epoch(const ScheduleResult& schedule,
   out.locations_served = schedule.locations_served;
   out.mean_beam_utilization = schedule.mean_beam_utilization;
   // Sorted-vector dedup: the distinct count is computed from a fully
-  // ordered sequence, so no hash-container layout is ever consulted.
-  std::vector<std::uint32_t> sats;
-  sats.reserve(schedule.assignments.size());
-  for (const auto& a : schedule.assignments) sats.push_back(a.sat);
-  std::sort(sats.begin(), sats.end());
-  sats.erase(std::unique(sats.begin(), sats.end()), sats.end());
-  out.satellites_in_view = sats.size();
+  // ordered sequence, so no hash-container layout is ever consulted. The
+  // caller's scratch keeps its capacity across epochs, and the count is an
+  // iterator difference — no erase, no allocation at steady state.
+  scratch.clear();
+  for (const auto& a : schedule.assignments) scratch.push_back(a.sat);
+  std::sort(scratch.begin(), scratch.end());
+  out.satellites_in_view = static_cast<std::size_t>(
+      std::unique(scratch.begin(), scratch.end()) - scratch.begin());
   return out;
+}
+
+EpochCoverage summarize_epoch(const ScheduleResult& schedule,
+                              std::size_t cells_total, double time_s) {
+  std::vector<std::uint32_t> scratch;
+  scratch.reserve(schedule.assignments.size());
+  return summarize_epoch(schedule, cells_total, time_s, scratch);
 }
 
 std::vector<EpochCoverage> summarize_epochs(

@@ -44,6 +44,12 @@ struct EpochCoverage {
                                             std::size_t cells_total,
                                             double time_s);
 
+/// As above, using caller-owned dedup scratch so repeated epochs allocate
+/// nothing once the scratch capacity has warmed up.
+[[nodiscard]] EpochCoverage summarize_epoch(
+    const ScheduleResult& schedule, std::size_t cells_total, double time_s,
+    std::vector<std::uint32_t>& scratch);
+
 /// Summarises a whole trace of per-epoch schedules in parallel over
 /// `executor`. Epoch e of the result is summarize_epoch(schedules[e],
 /// cells_total, times[e]); epochs are independent, so the trace is

@@ -6,9 +6,43 @@
 #include <stdexcept>
 
 #include "leodivide/geo/angle.hpp"
+#include "leodivide/obs/metrics.hpp"
+#include "leodivide/obs/trace.hpp"
 #include "leodivide/sim/beam.hpp"
 
 namespace leodivide::sim {
+
+namespace {
+
+// Derives the coverage-cone geometry for an orbit radius and elevation
+// mask. The operation order is kept exactly as the original inline
+// derivation (alt = radius - R; ratio = R / (R + alt)) so cos_psi — and
+// therefore every schedule — stays bit-identical with traces produced by
+// pre-index builds. All satellites share one altitude in a Walker shell;
+// the radius comes from the first state (robust to small numerical
+// spread). Memoized per workspace via CoverageGeometry::matches.
+CoverageGeometry derive_geometry(double radius_km,
+                                 double min_elevation_deg) {
+  CoverageGeometry g;
+  g.radius_km = radius_km;
+  g.min_elevation_deg = min_elevation_deg;
+  const double alt_km = radius_km - geo::kEarthRadiusKm;
+  const double ratio = geo::kEarthRadiusKm / (geo::kEarthRadiusKm + alt_km);
+  const double eps = geo::deg2rad(min_elevation_deg);
+  g.psi_rad = std::acos(ratio * std::cos(eps)) - eps;
+  g.cos_psi = std::cos(g.psi_rad);
+  return g;
+}
+
+// Radius used when there are no satellite states (the geometry is then
+// irrelevant — nothing can be assigned — but psi must stay well-defined
+// for the index). Matches the historical 550 km default.
+double first_radius_km(const std::vector<orbit::SatState>& sats) {
+  return sats.empty() ? geo::kEarthRadiusKm + 550.0
+                      : sats.front().ecef_km.norm();
+}
+
+}  // namespace
 
 BeamScheduler::BeamScheduler(std::vector<SchedCell> cells,
                              SchedulerConfig config)
@@ -25,6 +59,8 @@ BeamScheduler::BeamScheduler(std::vector<SchedCell> cells,
               }
               return cells_[a].locations > cells_[b].locations;
             });
+  cell_units_.reserve(cells_.size());
+  for (const auto& cell : cells_) cell_units_.push_back(cell.ecef_km.unit());
 }
 
 std::vector<SchedCell> BeamScheduler::cells_from_profile(
@@ -46,27 +82,160 @@ std::vector<SchedCell> BeamScheduler::cells_from_profile(
 
 ScheduleResult BeamScheduler::schedule(
     const std::vector<orbit::SatState>& sats) const {
+  ScheduleWorkspace workspace;
+  ScheduleResult result;
+  schedule(sats, workspace, result);
+  return result;
+}
+
+void BeamScheduler::schedule(const std::vector<orbit::SatState>& sats,
+                             ScheduleWorkspace& ws,
+                             ScheduleResult& result) const {
+  const obs::Span span("sim.schedule");
+  result.assignments.clear();
+  result.unassigned_cells.clear();
+  result.locations_served = 0;
+  result.locations_total = 0;
+  result.mean_beam_utilization = 0.0;
+  if (cells_.empty()) return;
+
+  const double radius_km = first_radius_km(sats);
+  if (!ws.geometry.matches(radius_km, config_.min_elevation_deg)) {
+    ws.geometry = derive_geometry(radius_km, config_.min_elevation_deg);
+  }
+  const double cos_psi = ws.geometry.cos_psi;
+
+  ws.budgets.assign(
+      sats.size(), BeamBudget(config_.beams_per_satellite, config_.beamspread));
+  ws.sat_touched.assign(sats.size(), 0);
+
+  // SoA unit vectors of the satellite positions for the cheap visibility
+  // test: cell "sees" sat iff the central angle between their radials is
+  // <= psi, i.e. the unit dot is >= cos(psi).
+  ws.unit_x.resize(sats.size());
+  ws.unit_y.resize(sats.size());
+  ws.unit_z.resize(sats.size());
+  for (std::size_t si = 0; si < sats.size(); ++si) {
+    const geo::Vec3 u = sats[si].ecef_km.unit();
+    ws.unit_x[si] = u.x;
+    ws.unit_y[si] = u.y;
+    ws.unit_z[si] = u.z;
+  }
+
+  if (!sats.empty()) ws.index.build(sats, ws.geometry.psi_rad);
+
+  std::uint64_t candidates_scanned = 0;
+  for (std::uint32_t ci : order_) {
+    const SchedCell& cell = cells_[ci];
+    result.locations_total += cell.locations;
+    if (sats.empty()) {
+      result.unassigned_cells.push_back(ci);
+      continue;
+    }
+    const geo::Vec3& cell_unit = cell_units_[ci];
+    ws.index.query_unsorted(cell.center, ws.candidates);
+    candidates_scanned += ws.candidates.size();
+
+    // Selection is order-independent: the naive ascending scan with strict
+    // improvement picks the lowest-indexed feasible satellite attaining
+    // the best slack (max for kMostSlack, min for kBestFit, any for
+    // kFirstFit), so scanning the unsorted candidate set with an explicit
+    // index tie-break chooses the identical satellite — byte-identical
+    // schedules without sorting candidates per cell (pinned by the
+    // equivalence suite).
+    std::int64_t best_sat = -1;
+    std::uint32_t best_slack = 0;
+    for (const std::uint32_t si : ws.candidates) {
+      if (cell_unit.x * ws.unit_x[si] + cell_unit.y * ws.unit_y[si] +
+              cell_unit.z * ws.unit_z[si] <
+          cos_psi) {
+        continue;  // not visible (exact test; the index only pre-filters)
+      }
+      const std::uint32_t slack = ws.budgets[si].slack();
+      if (slack == 0) continue;
+      // Whole-beam cells need enough free whole beams.
+      if (cell.beams_needed >= 2 &&
+          ws.budgets[si].beams_free() < cell.beams_needed) {
+        continue;
+      }
+      const auto sat = static_cast<std::int64_t>(si);
+      bool take = best_sat < 0;
+      switch (config_.strategy) {
+        case Strategy::kMostSlack:
+          take = take || slack > best_slack ||
+                 (slack == best_slack && sat < best_sat);
+          break;
+        case Strategy::kBestFit:
+          take = take || slack < best_slack ||
+                 (slack == best_slack && sat < best_sat);
+          break;
+        case Strategy::kFirstFit:
+          take = take || sat < best_sat;
+          break;
+      }
+      if (take) {
+        best_sat = sat;
+        best_slack = slack;
+      }
+    }
+    if (best_sat < 0) {
+      result.unassigned_cells.push_back(ci);
+      continue;
+    }
+    auto& budget = ws.budgets[static_cast<std::size_t>(best_sat)];
+    const bool ok = cell.beams_needed >= 2
+                        ? budget.reserve_whole(cell.beams_needed)
+                        : budget.reserve_shared_slot();
+    if (!ok) {
+      result.unassigned_cells.push_back(ci);
+      continue;
+    }
+    ws.sat_touched[static_cast<std::size_t>(best_sat)] = 1;
+    result.assignments.push_back(
+        Assignment{ci, static_cast<std::uint32_t>(best_sat),
+                   cell.beams_needed >= 2 ? cell.beams_needed : 0U});
+    result.locations_served += cell.locations;
+  }
+
+  double util_sum = 0.0;
+  std::size_t util_n = 0;
+  for (std::size_t si = 0; si < sats.size(); ++si) {
+    if (ws.sat_touched[si] == 0) continue;
+    util_sum += static_cast<double>(ws.budgets[si].beams_used()) /
+                static_cast<double>(config_.beams_per_satellite);
+    ++util_n;
+  }
+  result.mean_beam_utilization = util_n == 0 ? 0.0 : util_sum /
+                                                         static_cast<double>(
+                                                             util_n);
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter& candidates =
+        obs::registry().counter("sim.sched.candidates");
+    static obs::Counter& pruned = obs::registry().counter("sim.sched.pruned");
+    const std::uint64_t pairs =
+        static_cast<std::uint64_t>(cells_.size()) *
+        static_cast<std::uint64_t>(sats.size());
+    candidates.add(candidates_scanned);
+    pruned.add(pairs - candidates_scanned);
+  }
+}
+
+ScheduleResult BeamScheduler::schedule_reference(
+    const std::vector<orbit::SatState>& sats) const {
   ScheduleResult result;
   if (cells_.empty()) return result;
 
   // Precompute the geometry threshold: a satellite is usable by a cell when
   // the cell lies within the coverage central angle for the elevation mask.
-  // All satellites share one altitude in a Walker shell; derive it from the
-  // first state (robust to small numerical spread).
-  double alt_km = 550.0;
-  if (!sats.empty()) {
-    alt_km = sats.front().ecef_km.norm() - geo::kEarthRadiusKm;
-  }
-  const double ratio = geo::kEarthRadiusKm / (geo::kEarthRadiusKm + alt_km);
-  const double eps = geo::deg2rad(config_.min_elevation_deg);
-  const double psi = std::acos(ratio * std::cos(eps)) - eps;
-  const double cos_psi = std::cos(psi);
+  const double cos_psi =
+      derive_geometry(first_radius_km(sats), config_.min_elevation_deg)
+          .cos_psi;
 
   std::vector<BeamBudget> budgets(
       sats.size(), BeamBudget(config_.beams_per_satellite, config_.beamspread));
 
-  // Unit vectors of satellite positions for the cheap visibility test:
-  // cell "sees" sat iff the central angle between their radials is <= psi.
+  // Unit vectors of satellite positions for the cheap visibility test.
   std::vector<geo::Vec3> sat_units;
   sat_units.reserve(sats.size());
   for (const auto& s : sats) sat_units.push_back(s.ecef_km.unit());

@@ -10,6 +10,7 @@
 #include "leodivide/core/capacity_model.hpp"
 #include "leodivide/geo/ecef.hpp"
 #include "leodivide/orbit/propagate.hpp"
+#include "leodivide/sim/workspace.hpp"
 
 namespace leodivide::sim {
 
@@ -26,6 +27,8 @@ struct Assignment {
   std::uint32_t cell = 0;  ///< index into the scheduler's cell list
   std::uint32_t sat = 0;   ///< index into the epoch's satellite states
   std::uint32_t beams = 1; ///< whole beams (0 means a shared slot)
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
 };
 
 /// How the scheduler picks among visible satellites with room.
@@ -50,6 +53,11 @@ struct ScheduleResult {
   std::uint64_t locations_served = 0;
   std::uint64_t locations_total = 0;
   double mean_beam_utilization = 0.0;  ///< over satellites that saw demand
+
+  /// Exact (bit-level) equality; the indexed-vs-naive golden equivalence
+  /// suite relies on it.
+  friend bool operator==(const ScheduleResult&, const ScheduleResult&) =
+      default;
 };
 
 /// Greedy scheduler over a fixed cell list.
@@ -58,9 +66,26 @@ class BeamScheduler {
   BeamScheduler(std::vector<SchedCell> cells, SchedulerConfig config);
 
   /// Schedules one epoch given satellite states. Cells are processed in
-  /// descending beam need then descending demand; each picks the visible
-  /// satellite with the most remaining capacity (most-slack heuristic).
+  /// descending beam need then descending demand; each picks among the
+  /// visible satellites per the configured strategy. Internally the cell →
+  /// satellite search runs through a per-epoch spatial index
+  /// (orbit::VisIndex), pruning the candidate set from O(sats) to O(k)
+  /// per cell; the result is byte-identical to schedule_reference.
   [[nodiscard]] ScheduleResult schedule(
+      const std::vector<orbit::SatState>& sats) const;
+
+  /// As above, reusing `workspace` scratch and `out`'s vector capacity:
+  /// repeated epochs over a constellation of fixed size perform zero heap
+  /// allocations once the buffers have warmed up. `workspace` must not be
+  /// shared between threads.
+  void schedule(const std::vector<orbit::SatState>& sats,
+                ScheduleWorkspace& workspace, ScheduleResult& out) const;
+
+  /// The retained naive O(cells x sats) reference kernel (the pre-index
+  /// implementation, kept verbatim): scans every satellite per cell. The
+  /// golden equivalence suite and the sim.schedule bench compare the
+  /// indexed kernel against it; never used on the hot path.
+  [[nodiscard]] ScheduleResult schedule_reference(
       const std::vector<orbit::SatState>& sats) const;
 
   [[nodiscard]] const std::vector<SchedCell>& cells() const noexcept {
@@ -79,7 +104,8 @@ class BeamScheduler {
  private:
   std::vector<SchedCell> cells_;
   SchedulerConfig config_;
-  std::vector<std::uint32_t> order_;  ///< processing order, precomputed
+  std::vector<std::uint32_t> order_;      ///< processing order, precomputed
+  std::vector<geo::Vec3> cell_units_;     ///< unit radials, precomputed
 };
 
 }  // namespace leodivide::sim

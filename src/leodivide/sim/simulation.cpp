@@ -3,6 +3,8 @@
 #include "leodivide/obs/metrics.hpp"
 #include "leodivide/obs/trace.hpp"
 #include "leodivide/runtime/parallel_for.hpp"
+#include "leodivide/sim/coverage.hpp"
+#include "leodivide/sim/workspace.hpp"
 
 namespace leodivide::sim {
 
@@ -23,16 +25,26 @@ std::vector<EpochCoverage> Simulation::run(
     static obs::Counter& epochs = obs::registry().counter("sim.epochs");
     epochs.add(clock.epochs());
   }
-  std::vector<double> times(clock.epochs());
-  std::vector<ScheduleResult> schedules(clock.epochs());
-  runtime::parallel_for_each(executor, 0, clock.epochs(), [&](std::size_t e) {
-    const obs::Span epoch_span("sim.epoch");
-    times[e] = clock.time_at(e);
-    const auto states = orbit::propagate_all(orbits_, times[e]);
-    schedules[e] = scheduler_.schedule(states);
-  });
-  return summarize_epochs(schedules, scheduler_.cells().size(), times,
-                          executor);
+  std::vector<EpochCoverage> trace(clock.epochs());
+  // One workspace + schedule buffer per chunk: after the first epoch of a
+  // chunk warms the buffers, the remaining epochs run without any heap
+  // allocation (pinned by the equivalence suite). Each epoch is still
+  // computed independently and writes only its own trace slot, so the body
+  // is range-oblivious and the trace is identical for every thread count.
+  runtime::parallel_for(
+      executor, 0, clock.epochs(), [&](std::size_t lo, std::size_t hi) {
+        ScheduleWorkspace workspace;
+        ScheduleResult schedule;
+        for (std::size_t e = lo; e < hi; ++e) {
+          const obs::Span epoch_span("sim.epoch");
+          const double t = clock.time_at(e);
+          orbit::propagate_all(orbits_, t, workspace.states);
+          scheduler_.schedule(workspace.states, workspace, schedule);
+          trace[e] = summarize_epoch(schedule, scheduler_.cells().size(), t,
+                                     workspace.sat_dedup);
+        }
+      });
+  return trace;
 }
 
 std::vector<EpochCoverage> Simulation::run() const {

@@ -33,7 +33,9 @@ class Simulation {
   /// Runs every epoch; returns the per-epoch trace. Epochs are mutually
   /// independent (propagate → schedule → summarize), so they run in
   /// parallel over `executor` with each epoch writing its own trace slot —
-  /// the trace is identical for every thread count.
+  /// the trace is identical for every thread count. Each worker chunk reuses
+  /// one ScheduleWorkspace, so the steady-state epoch loop performs no heap
+  /// allocations.
   [[nodiscard]] std::vector<EpochCoverage> run(
       runtime::Executor& executor) const;
 

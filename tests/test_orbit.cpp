@@ -616,3 +616,135 @@ TEST(TleConvert, RejectsEccentricOrbits) {
 
 }  // namespace
 }  // namespace leodivide::orbit
+
+// Appended: the per-epoch satellite spatial index (orbit/visindex.hpp).
+#include <algorithm>
+
+#include "leodivide/orbit/visindex.hpp"
+#include "leodivide/stats/rng.hpp"
+
+namespace leodivide::orbit {
+namespace {
+
+std::vector<SatState> shell_states(const WalkerShell& shell, double t_s) {
+  return propagate_all(make_constellation(shell), t_s);
+}
+
+TEST(VisIndex, IndexesEverySatelliteExactlyOnce) {
+  const auto states = shell_states({53.0, 550.0, 24, 18, 5}, 777.0);
+  VisIndex index;
+  index.build(states, 0.3);
+  EXPECT_EQ(index.sat_count(), states.size());
+  // Querying every bucket's worth of sky must see each satellite once: walk
+  // a dense grid of cells and union the candidates.
+  std::vector<std::uint32_t> all, candidates;
+  for (double lat = -87.5; lat < 90.0; lat += 5.0) {
+    for (double lon = -177.5; lon < 180.0; lon += 5.0) {
+      index.query({lat, lon}, candidates);
+      all.insert(all.end(), candidates.begin(), candidates.end());
+    }
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), states.size());
+}
+
+TEST(VisIndex, CandidatesAreSortedUniqueSupersets) {
+  stats::Pcg32 rng(42);
+  const auto states = shell_states({70.0, 800.0, 16, 14, 3}, 505.0);
+  const double psi_rad = 0.25;
+  const double cos_psi = std::cos(psi_rad);
+  VisIndex index;
+  index.build(states, psi_rad);
+  std::vector<std::uint32_t> candidates;
+  for (int i = 0; i < 300; ++i) {
+    const geo::GeoPoint cell{-90.0 + rng.next_double() * 180.0,
+                             -180.0 + rng.next_double() * 360.0};
+    index.query(cell, candidates);
+    ASSERT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+    ASSERT_EQ(std::adjacent_find(candidates.begin(), candidates.end()),
+              candidates.end());
+    const geo::Vec3 cu =
+        geo::spherical_to_cartesian(cell, geo::kEarthRadiusKm).unit();
+    for (std::uint32_t si = 0; si < states.size(); ++si) {
+      if (cu.dot(states[si].ecef_km.unit()) >= cos_psi) {
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                       si))
+            << "visible sat " << si << " missing for cell " << cell.lat_deg
+            << "," << cell.lon_deg;
+      }
+    }
+  }
+}
+
+TEST(VisIndex, PolarCellSeesHighLatitudeSatellites) {
+  // A pole-centred cap spans all longitudes; every satellite within psi in
+  // latitude must be a candidate regardless of its longitude.
+  std::vector<SatState> states;
+  for (double lon = -180.0; lon < 180.0; lon += 30.0) {
+    SatState s;
+    s.subpoint = {80.0, lon};
+    s.ecef_km =
+        geo::spherical_to_cartesian(s.subpoint, geo::kEarthRadiusKm + 550.0);
+    states.push_back(s);
+  }
+  VisIndex index;
+  index.build(states, geo::deg2rad(15.0));
+  std::vector<std::uint32_t> candidates;
+  index.query({88.0, 13.0}, candidates);
+  EXPECT_EQ(candidates.size(), states.size());
+}
+
+TEST(VisIndex, DateLineWindowWrapsBothWays) {
+  std::vector<SatState> states;
+  for (double lon : {179.5, -179.5, 170.0, -170.0, 0.0}) {
+    SatState s;
+    s.subpoint = {10.0, lon};
+    s.ecef_km =
+        geo::spherical_to_cartesian(s.subpoint, geo::kEarthRadiusKm + 550.0);
+    states.push_back(s);
+  }
+  VisIndex index;
+  index.build(states, geo::deg2rad(12.0));
+  std::vector<std::uint32_t> candidates;
+  index.query({10.0, 179.9}, candidates);
+  // Both near-date-line satellites (indices 0 and 1) must be candidates;
+  // the one at lon 0 must not.
+  EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), 0U));
+  EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(), 1U));
+  EXPECT_FALSE(std::binary_search(candidates.begin(), candidates.end(), 4U));
+}
+
+TEST(VisIndex, RebuildReusesStorageAcrossEpochs) {
+  const auto orbits = make_constellation(WalkerShell{53.0, 550.0, 12, 10, 1});
+  VisIndex index;
+  std::vector<SatState> states;
+  std::vector<std::uint32_t> candidates;
+  for (int e = 0; e < 5; ++e) {
+    propagate_all(orbits, 60.0 * e, states);
+    index.build(states, 0.3);
+    EXPECT_EQ(index.sat_count(), states.size());
+    index.query({45.0, -100.0}, candidates);
+    EXPECT_TRUE(std::is_sorted(candidates.begin(), candidates.end()));
+  }
+}
+
+TEST(PropagateBatch, OutParamOverloadMatchesReturningOverload) {
+  const auto orbits = make_constellation(WalkerShell{53.0, 550.0, 8, 6, 1});
+  std::vector<SatState> reused;
+  for (double t : {0.0, 93.5, 4711.0}) {
+    propagate_all(orbits, t, reused);
+    const auto fresh = propagate_all(orbits, t);
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(reused[i].ecef_km.x, fresh[i].ecef_km.x);
+      EXPECT_EQ(reused[i].ecef_km.y, fresh[i].ecef_km.y);
+      EXPECT_EQ(reused[i].ecef_km.z, fresh[i].ecef_km.z);
+      EXPECT_EQ(reused[i].subpoint.lat_deg, fresh[i].subpoint.lat_deg);
+      EXPECT_EQ(reused[i].subpoint.lon_deg, fresh[i].subpoint.lon_deg);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leodivide::orbit

@@ -1,0 +1,312 @@
+// Golden equivalence suite for the spatially-indexed scheduling kernel:
+// BeamScheduler::schedule (VisIndex-pruned) must produce byte-identical
+// ScheduleResults to schedule_reference (the retained naive full scan) on
+// every strategy, constellation and cell geometry — including polar caps
+// and the date line — and the simulation trace must be identical at every
+// thread count. Also pins the zero-allocation contract of the steady-state
+// epoch loop via a counting global operator new.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "leodivide/demand/generator.hpp"
+#include "leodivide/geo/angle.hpp"
+#include "leodivide/geo/ecef.hpp"
+#include "leodivide/orbit/propagate.hpp"
+#include "leodivide/orbit/visindex.hpp"
+#include "leodivide/orbit/walker.hpp"
+#include "leodivide/runtime/executor.hpp"
+#include "leodivide/runtime/thread_pool.hpp"
+#include "leodivide/sim/clock.hpp"
+#include "leodivide/sim/coverage.hpp"
+#include "leodivide/sim/scheduler.hpp"
+#include "leodivide/sim/simulation.hpp"
+#include "leodivide/sim/workspace.hpp"
+#include "leodivide/stats/rng.hpp"
+
+// ------------------------------------------------------------------------
+// Counting allocator hooks. Every operator new in the process bumps the
+// counter; the steady-state test asserts the epoch loop leaves it
+// untouched. delete stays the default-compatible free.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace leodivide::sim {
+namespace {
+
+constexpr Strategy kAllStrategies[] = {Strategy::kMostSlack,
+                                       Strategy::kFirstFit,
+                                       Strategy::kBestFit};
+
+std::vector<SchedCell> random_cells(stats::Pcg32& rng, std::size_t n,
+                                    double lat_min, double lat_max) {
+  std::vector<SchedCell> cells;
+  cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SchedCell c;
+    c.center = {lat_min + rng.next_double() * (lat_max - lat_min),
+                -180.0 + rng.next_double() * 360.0};
+    c.ecef_km = geo::spherical_to_cartesian(c.center, geo::kEarthRadiusKm);
+    c.locations = 1 + static_cast<std::uint32_t>(rng.next_below(2000));
+    c.beams_needed = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+orbit::SatState sat_at(double lat, double lon, double alt_km = 550.0) {
+  orbit::SatState s;
+  s.subpoint = {lat, lon};
+  s.ecef_km =
+      geo::spherical_to_cartesian(s.subpoint, geo::kEarthRadiusKm + alt_km);
+  return s;
+}
+
+void expect_equivalent(const BeamScheduler& scheduler,
+                       const std::vector<orbit::SatState>& states) {
+  const ScheduleResult indexed = scheduler.schedule(states);
+  const ScheduleResult naive = scheduler.schedule_reference(states);
+  ASSERT_EQ(indexed.assignments.size(), naive.assignments.size());
+  EXPECT_TRUE(indexed == naive);
+}
+
+// ---------------------------------------------------- randomized shells ----
+
+TEST(IndexedEquivalence, RandomWalkerShellsMatchReferenceExactly) {
+  stats::Pcg32 rng(20250806);
+  for (int trial = 0; trial < 12; ++trial) {
+    orbit::WalkerShell shell;
+    shell.inclination_deg = 40.0 + rng.next_double() * 58.0;  // up to polar
+    shell.altitude_km = 350.0 + rng.next_double() * 900.0;
+    shell.planes = 6 + static_cast<std::uint32_t>(rng.next_below(10));
+    shell.sats_per_plane = 4 + static_cast<std::uint32_t>(rng.next_below(12));
+    shell.phasing = static_cast<std::uint32_t>(rng.next_below(shell.planes));
+    const auto orbits = orbit::make_constellation(shell);
+    const auto states =
+        orbit::propagate_all(orbits, rng.next_double() * 6000.0);
+    auto cells = random_cells(rng, 60, -85.0, 85.0);
+    for (const Strategy strategy : kAllStrategies) {
+      SchedulerConfig config;
+      config.beamspread = 1 + static_cast<std::uint32_t>(rng.next_below(6));
+      config.strategy = strategy;
+      expect_equivalent(BeamScheduler(cells, config), states);
+    }
+  }
+}
+
+TEST(IndexedEquivalence, WorkspaceReuseAcrossEpochsMatchesReference) {
+  // One workspace carried across many epochs (the simulation's pattern)
+  // must give the same schedules as fresh naive runs at each epoch.
+  const auto profile = demand::SyntheticGenerator({.seed = 17, .scale = 0.01})
+                           .generate_profile();
+  const auto cells = BeamScheduler::cells_from_profile(
+      profile, core::SatelliteCapacityModel(), 20.0);
+  const BeamScheduler scheduler(cells, SchedulerConfig{});
+  const auto orbits = orbit::make_constellation(orbit::starlink_shell1());
+  ScheduleWorkspace ws;
+  ScheduleResult indexed;
+  for (int e = 0; e < 6; ++e) {
+    const double t = 47.0 * e;
+    orbit::propagate_all(orbits, t, ws.states);
+    scheduler.schedule(ws.states, ws, indexed);
+    EXPECT_TRUE(indexed == scheduler.schedule_reference(ws.states))
+        << "epoch " << e;
+  }
+}
+
+// ------------------------------------------------------- edge geometries ----
+
+TEST(IndexedEquivalence, PolarCellsMatchReference) {
+  // Cells at and around the poles; a polar-orbiting constellation passes
+  // directly over them, exercising the all-longitudes cap branch.
+  stats::Pcg32 rng(7);
+  std::vector<SchedCell> cells;
+  for (double lat : {90.0, 89.9, 88.0, -88.0, -89.9, -90.0}) {
+    for (double lon : {-170.0, -45.0, 0.0, 60.0, 179.0}) {
+      SchedCell c;
+      c.center = {lat, lon};
+      c.ecef_km = geo::spherical_to_cartesian(c.center, geo::kEarthRadiusKm);
+      c.locations = 1 + static_cast<std::uint32_t>(rng.next_below(500));
+      c.beams_needed = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+      cells.push_back(c);
+    }
+  }
+  const orbit::WalkerShell polar{97.0, 600.0, 12, 12, 1};
+  const auto states =
+      orbit::propagate_all(orbit::make_constellation(polar), 321.0);
+  for (const Strategy strategy : kAllStrategies) {
+    SchedulerConfig config;
+    config.strategy = strategy;
+    expect_equivalent(BeamScheduler(cells, config), states);
+  }
+}
+
+TEST(IndexedEquivalence, DateLineCellsMatchReference) {
+  // Cells and satellites straddling the antimeridian: the index's sector
+  // window wraps modulo 360 and must not lose the far side.
+  stats::Pcg32 rng(11);
+  std::vector<SchedCell> cells;
+  for (double lon : {179.99, 179.5, 178.0, -178.0, -179.5, -179.99, 180.0}) {
+    for (double lat : {-40.0, 0.0, 35.0, 62.0}) {
+      SchedCell c;
+      c.center = {lat, lon};
+      c.ecef_km = geo::spherical_to_cartesian(c.center, geo::kEarthRadiusKm);
+      c.locations = 1 + static_cast<std::uint32_t>(rng.next_below(500));
+      c.beams_needed = 1;
+      cells.push_back(c);
+    }
+  }
+  std::vector<orbit::SatState> states;
+  for (double lon : {179.9, 179.0, -179.9, -179.0, 178.5, -178.5}) {
+    for (double lat : {-38.0, 1.0, 36.0, 60.0}) {
+      states.push_back(sat_at(lat, lon));
+    }
+  }
+  for (const Strategy strategy : kAllStrategies) {
+    SchedulerConfig config;
+    config.strategy = strategy;
+    expect_equivalent(BeamScheduler(cells, config), states);
+  }
+}
+
+TEST(IndexedEquivalence, NoSatellitesAndNoCells) {
+  stats::Pcg32 rng(3);
+  auto cells = random_cells(rng, 5, -60.0, 60.0);
+  const BeamScheduler with_cells(cells, SchedulerConfig{});
+  expect_equivalent(with_cells, {});
+  const BeamScheduler no_cells(std::vector<SchedCell>{}, SchedulerConfig{});
+  expect_equivalent(no_cells, {sat_at(10.0, 10.0)});
+}
+
+// ----------------------------------------------------- VisIndex contract ----
+
+TEST(VisIndexContract, CandidatesAreSortedSupersetOfVisible) {
+  stats::Pcg32 rng(99);
+  const orbit::WalkerShell shell{53.0, 550.0, 24, 18, 7};
+  const auto states =
+      orbit::propagate_all(orbit::make_constellation(shell), 1234.5);
+  const double psi_rad = 0.2;  // ~11.5 deg coverage cone
+  const double cos_psi = std::cos(psi_rad);
+  orbit::VisIndex index;
+  index.build(states, psi_rad);
+  std::vector<std::uint32_t> candidates;
+  for (int i = 0; i < 200; ++i) {
+    const geo::GeoPoint cell{-90.0 + rng.next_double() * 180.0,
+                             -180.0 + rng.next_double() * 360.0};
+    const geo::Vec3 cu =
+        geo::spherical_to_cartesian(cell, geo::kEarthRadiusKm).unit();
+    index.query(cell, candidates);
+    ASSERT_TRUE(
+        std::is_sorted(candidates.begin(), candidates.end()));
+    ASSERT_EQ(std::adjacent_find(candidates.begin(), candidates.end()),
+              candidates.end());
+    // Every exactly-visible satellite must be in the candidate list.
+    std::vector<std::uint32_t> visible;
+    for (std::uint32_t si = 0; si < states.size(); ++si) {
+      if (cu.dot(states[si].ecef_km.unit()) >= cos_psi) visible.push_back(si);
+    }
+    EXPECT_TRUE(std::includes(candidates.begin(), candidates.end(),
+                              visible.begin(), visible.end()))
+        << "cell " << cell.lat_deg << "," << cell.lon_deg;
+  }
+}
+
+TEST(VisIndexContract, RejectsNonPositivePsi) {
+  orbit::VisIndex index;
+  EXPECT_THROW(index.build({}, 0.0), std::invalid_argument);
+  EXPECT_THROW(index.build({}, -1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------- thread-count invariance ----
+
+TEST(TraceInvariance, IdenticalAcrossThreadCountsAndEqualToReference) {
+  SimulationConfig config;
+  config.duration_s = 300.0;
+  config.step_s = 50.0;
+  const auto profile = demand::SyntheticGenerator({.seed = 17, .scale = 0.01})
+                           .generate_profile();
+  const Simulation sim(config, profile);
+
+  const auto serial = sim.run(runtime::serial_executor());
+  runtime::ThreadPool pool4(4);
+  const auto threads4 = sim.run(pool4);
+  runtime::ThreadPool pool8(8);
+  const auto threads8 = sim.run(pool8);
+  EXPECT_TRUE(serial == threads4);
+  EXPECT_TRUE(serial == threads8);
+
+  // Hand-built reference trace through the naive kernel: replicate the
+  // simulation's construction (same cells, config, orbits), schedule each
+  // epoch with schedule_reference and summarize.
+  const BeamScheduler scheduler(
+      BeamScheduler::cells_from_profile(profile, core::SatelliteCapacityModel(),
+                                        config.oversub_target),
+      config.scheduler);
+  const auto orbits = orbit::make_constellation(config.shell);
+  const SimClock clock(config.duration_s, config.step_s);
+  ASSERT_EQ(serial.size(), clock.epochs());
+  for (std::size_t e = 0; e < clock.epochs(); ++e) {
+    const double t = clock.time_at(e);
+    const auto ref =
+        scheduler.schedule_reference(orbit::propagate_all(orbits, t));
+    EXPECT_TRUE(serial[e] ==
+                summarize_epoch(ref, scheduler.cells().size(), t))
+        << "epoch " << e;
+  }
+}
+
+// ------------------------------------------------------- zero allocation ----
+
+TEST(Workspace, SteadyStateEpochLoopIsAllocationFree) {
+  const auto profile = demand::SyntheticGenerator({.seed = 17, .scale = 0.01})
+                           .generate_profile();
+  const BeamScheduler scheduler(
+      BeamScheduler::cells_from_profile(profile, core::SatelliteCapacityModel(),
+                                        20.0),
+      SchedulerConfig{});
+  const auto orbits = orbit::make_constellation(orbit::starlink_shell1());
+  const SimClock clock(300.0, 100.0);
+
+  ScheduleWorkspace ws;
+  ScheduleResult schedule;
+  auto run_epochs = [&] {
+    for (std::size_t e = 0; e < clock.epochs(); ++e) {
+      const double t = clock.time_at(e);
+      orbit::propagate_all(orbits, t, ws.states);
+      scheduler.schedule(ws.states, ws, schedule);
+      (void)summarize_epoch(schedule, scheduler.cells().size(), t,
+                            ws.sat_dedup);
+    }
+  };
+  run_epochs();  // warm every buffer (and any lazy obs statics)
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  run_epochs();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before)
+      << "steady-state epoch loop performed " << (after - before)
+      << " heap allocations";
+}
+
+}  // namespace
+}  // namespace leodivide::sim

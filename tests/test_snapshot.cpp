@@ -585,3 +585,45 @@ TEST(FileIo, JsonWriterPropagatesStreamFailure) {
 }
 
 }  // namespace
+
+// Appended: indexed-kernel compatibility. The scheduling kernel was swapped
+// from a naive full scan to the VisIndex-pruned one; snapshots written by
+// pre-index builds must keep working — same stage fingerprints (no silent
+// cache invalidation) and byte-identical trace payloads.
+namespace {
+
+sim::SimulationConfig golden_sim_config() {
+  sim::SimulationConfig config;
+  config.duration_s = 300.0;
+  config.step_s = 100.0;
+  config.scheduler.beamspread = 5;
+  return config;
+}
+
+TEST(IndexedKernelCompat, SimEpochsFingerprintIsStable) {
+  snapshot::Fingerprint fp = snapshot::stage_fingerprint("sim.epochs");
+  snapshot::mix(fp, golden_sim_config());
+  // Captured from the pre-index build. The fingerprint mixes config fields
+  // only, so swapping the kernel must not move it — a change here silently
+  // invalidates every existing ldsnap cache entry.
+  EXPECT_EQ(fp.hex(), "fef47cc646ddcf3e");
+}
+
+TEST(IndexedKernelCompat, TraceBlobMatchesPreIndexBuildByteForByte) {
+  const auto profile =
+      demand::SyntheticGenerator({.seed = 17, .scale = 0.01})
+          .generate_profile();
+  const sim::Simulation simulation(golden_sim_config(), profile);
+  const auto trace = simulation.run(runtime::serial_executor());
+  const std::string blob = snapshot::serialize(trace);
+  // Size and digest of the blob the pre-index build serialized for this
+  // exact scenario: a trace cached by an old build deserializes equal to a
+  // fresh indexed-kernel run, so warm caches survive the kernel swap.
+  EXPECT_EQ(blob.size(), 274U);
+  snapshot::Fingerprint digest;
+  digest.mix(blob);
+  EXPECT_EQ(digest.hex(), "2b5efa2983576320");
+  EXPECT_TRUE(snapshot::deserialize_epochs(blob) == trace);
+}
+
+}  // namespace

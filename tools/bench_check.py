@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate the sim.schedule bench harness output against BENCH_sim.json.
+
+Usage: bench_check.py <harness-output-file> <baseline-json>
+
+The harness (``micro_perf --sim-schedule``) prints one JSON line per case:
+
+    {"bench":"sim.schedule","cells":N,"sats":N,"naive_ms":X,"indexed_ms":Y,"speedup":Z}
+
+This script matches each baseline case by (cells, sats) and enforces the
+host-independent gate ``speedup >= min_speedup``.  Absolute milliseconds are
+compared against the recorded baseline informationally only (CI runners and
+dev machines differ); the speedup ratio is what must hold.
+
+Exits nonzero if any baseline case is missing from the output or fails the
+speedup gate.
+"""
+
+import json
+import sys
+
+
+def parse_harness_lines(path):
+    """Return {(cells, sats): record} for every sim.schedule JSON line."""
+    results = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if rec.get("bench") != "sim.schedule":
+                continue
+            results[(rec["cells"], rec["sats"])] = rec
+    return results
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    output_path, baseline_path = argv[1], argv[2]
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    min_speedup = float(baseline["min_speedup"])
+    results = parse_harness_lines(output_path)
+    if not results:
+        print(f"FAIL: no sim.schedule JSON lines found in {output_path}")
+        return 1
+
+    failures = 0
+    for case in baseline["cases"]:
+        key = (case["cells"], case["sats"])
+        rec = results.get(key)
+        label = f"{key[0]} cells x {key[1]} sats"
+        if rec is None:
+            print(f"FAIL: {label}: missing from harness output")
+            failures += 1
+            continue
+
+        speedup = float(rec["speedup"])
+        ok = speedup >= min_speedup
+        verdict = "ok" if ok else "FAIL"
+        print(
+            f"{verdict}: {label}: speedup {speedup:.2f}x "
+            f"(gate >= {min_speedup:.1f}x, baseline {case['speedup']:.2f}x)"
+        )
+        drift = float(rec["indexed_ms"]) / float(case["indexed_ms"])
+        print(
+            f"  info: indexed {rec['indexed_ms']:.3f} ms vs baseline "
+            f"{case['indexed_ms']:.3f} ms ({drift:.2f}x, informational); "
+            f"naive {rec['naive_ms']:.3f} ms vs {case['naive_ms']:.3f} ms"
+        )
+        if not ok:
+            failures += 1
+
+    if failures:
+        print(f"FAIL: {failures} case(s) below the {min_speedup:.1f}x gate")
+        return 1
+    print(f"ok: all {len(baseline['cases'])} case(s) meet the speedup gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
