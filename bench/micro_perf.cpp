@@ -7,7 +7,10 @@
 // kernel comparison: indexed (VisIndex) vs naive full scan over a
 // cells x sats sweep, verifying byte-identical results and emitting
 // {"bench":"sim.schedule",...} JSON lines that tools/bench_check.py
-// gates against BENCH_sim.json.
+// gates against BENCH_sim.json. With `--sim-event` it compares the
+// event-driven engine against fixed-epoch stepping on multi-day
+// horizons, verifies byte-identical epoch traces, and emits
+// {"bench":"sim.event",...} lines gated against BENCH_event.json.
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +28,7 @@
 #include "leodivide/core/sizing.hpp"
 #include "leodivide/demand/aggregate.hpp"
 #include "leodivide/demand/generator.hpp"
+#include "leodivide/event/engine.hpp"
 #include "leodivide/hex/polyfill.hpp"
 #include "leodivide/hex/traversal.hpp"
 #include "leodivide/orbit/propagate.hpp"
@@ -35,6 +39,7 @@
 #include "leodivide/orbit/tle.hpp"
 #include "leodivide/sim/maxflow.hpp"
 #include "leodivide/sim/scheduler.hpp"
+#include "leodivide/sim/simulation.hpp"
 #include "leodivide/sim/workspace.hpp"
 #include "leodivide/stats/distributions.hpp"
 
@@ -371,6 +376,84 @@ int run_sim_schedule_harness() {
   return rc;
 }
 
+// One `--sim-event` comparison scale: synthetic demand cells against a
+// small Walker shell over a multi-day horizon at a sub-minute step — the
+// regime where fixed-epoch stepping recomputes thousands of identical
+// schedules between contact changes.
+struct SimEventCase {
+  std::size_t n_cells;
+  double duration_s;
+  double step_s;
+};
+
+demand::DemandProfile event_bench_profile(std::size_t n) {
+  demand::CountyTable counties;
+  counties.add({"00001", {40.0, -100.0}, 50000.0, 0});
+  stats::Pcg32 rng(9090);
+  std::vector<demand::CellDemand> cells;
+  cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    demand::CellDemand c;
+    c.center = {-56.0 + rng.next_double() * 112.0,
+                -180.0 + rng.next_double() * 360.0};
+    c.underserved = 1 + static_cast<std::uint32_t>(rng.next_below(2000));
+    cells.push_back(c);
+  }
+  return demand::DemandProfile(std::move(cells), std::move(counties));
+}
+
+// The `--sim-event` engine-comparison harness. Returns the process exit
+// code: nonzero when the engines' epoch traces differ on any case.
+int run_sim_event_harness() {
+  bench::banner("micro_perf: sim.event event-driven vs fixed-epoch engine");
+  int rc = 0;
+  // 1 s steps: handover events last seconds, so that is the step the epoch
+  // kernel needs for exact churn accounting — the event engine gets it for
+  // free because its cost is independent of the step.
+  const SimEventCase cases[] = {{40, 86400.0, 1.0}, {48, 2.0 * 86400.0, 1.0}};
+  for (const SimEventCase& c : cases) {
+    sim::SimulationConfig config;
+    config.shell = {53.0, 550.0, 6, 6, 1};
+    config.duration_s = c.duration_s;
+    config.step_s = c.step_s;
+    const auto profile = event_bench_profile(c.n_cells);
+    const sim::SimClock clock(config.duration_s, config.step_s);
+    const std::size_t n_sats = static_cast<std::size_t>(config.shell.planes) *
+                               config.shell.sats_per_plane;
+    std::cout << "  case: " << c.n_cells << " cells x " << n_sats
+              << " sats, " << c.duration_s / 86400.0 << " d @ " << c.step_s
+              << " s (" << clock.epochs() << " epochs)\n";
+
+    const sim::Simulation epoch_sim(config, profile);
+    event::EventSimulation event_sim(config, profile);
+    runtime::Executor& executor = runtime::serial_executor();
+
+    const auto expected = epoch_sim.run(executor);
+    auto actual = event_sim.run(executor);  // also warms the workspace
+    if (expected != actual) {
+      std::cerr << "FAIL: event and epoch traces differ at " << c.n_cells
+                << " cells x " << n_sats << " sats\n";
+      rc = 1;
+      continue;
+    }
+    std::cout << "  outputs:  byte-identical (" << expected.size()
+              << " epochs)\n";
+
+    const double epoch_ms =
+        best_of_ms(2, [&] { benchmark::DoNotOptimize(epoch_sim.run(executor)); });
+    const double event_ms =
+        best_of_ms(3, [&] { benchmark::DoNotOptimize(event_sim.run(executor)); });
+    std::cout << "  epoch:    " << epoch_ms << " ms\n"
+              << "  event:    " << event_ms << " ms\n"
+              << "  speedup:  " << epoch_ms / event_ms << "x\n";
+    std::cout << "{\"bench\":\"sim.event\",\"cells\":" << c.n_cells
+              << ",\"sats\":" << n_sats << ",\"epochs\":" << clock.epochs()
+              << ",\"epoch_ms\":" << epoch_ms << ",\"event_ms\":" << event_ms
+              << ",\"speedup\":" << epoch_ms / event_ms << "}" << std::endl;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -381,6 +464,7 @@ int main(int argc, char** argv) {
   obs::Options obs_options = obs::options_from_env();
   std::size_t threads = 0;
   bool sim_schedule = false;
+  bool sim_event = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -391,6 +475,8 @@ int main(int argc, char** argv) {
           std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (arg == "--sim-schedule") {
       sim_schedule = true;
+    } else if (arg == "--sim-event") {
+      sim_event = true;
     } else if (obs::parse_cli_arg(obs_options, argc, argv, i)) {
       // Observability flag; consumed.
     } else {
@@ -402,6 +488,8 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (sim_schedule) {
     rc = run_sim_schedule_harness();
+  } else if (sim_event) {
+    rc = run_sim_event_harness();
   } else if (threads > 0) {
     rc = run_scaling_harness(threads);
   } else {

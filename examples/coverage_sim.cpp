@@ -1,14 +1,17 @@
 // Coverage simulation: propagate a Walker shell over time and watch the
 // greedy beam scheduler serve the national demand cells epoch by epoch.
 //
-//   $ ./coverage_sim [--snapshot-dir DIR] [planes] [sats_per_plane]
-//                    [minutes] [beamspread]
+//   $ ./coverage_sim [--engine=epoch|event] [--snapshot-dir DIR] [planes]
+//                    [sats_per_plane] [minutes] [beamspread]
 //
 // Defaults: Starlink shell 1 (72 x 22 at 53 deg / 550 km), 10 minutes,
-// beamspread 5. With `--snapshot-dir DIR` (or LEODIVIDE_SNAPSHOT_DIR) the
-// generated demand profile and the epoch trace are cached as LDSNAP blobs
-// keyed by their exact inputs, so a rerun with the same shell and horizon
-// skips both generation and propagation.
+// beamspread 5, the fixed-epoch engine. `--engine=event` runs the
+// deterministic rise/set event queue instead — byte-identical output,
+// computed only at contact changes. With `--snapshot-dir DIR` (or
+// LEODIVIDE_SNAPSHOT_DIR) the generated demand profile and the epoch
+// trace are cached as LDSNAP blobs keyed by their exact inputs, so a
+// rerun with the same shell and horizon skips both generation and
+// propagation.
 
 #include <cstdlib>
 #include <iostream>
@@ -16,7 +19,9 @@
 #include <vector>
 
 #include "leodivide/demand/generator.hpp"
+#include "leodivide/event/engine.hpp"
 #include "leodivide/io/table.hpp"
+#include "leodivide/runtime/executor.hpp"
 #include "leodivide/orbit/footprint.hpp"
 #include "leodivide/sim/handover.hpp"
 #include "leodivide/sim/simulation.hpp"
@@ -26,14 +31,20 @@ int main(int argc, char** argv) {
   using namespace leodivide;
 
   std::vector<std::string> positional;
+  sim::Engine engine = sim::Engine::kEpoch;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (snapshot::parse_cli_arg(argc, argv, i)) {
         // Snapshot cache flag; consumed.
+      } else if (arg == "--engine=epoch") {
+        engine = sim::Engine::kEpoch;
+      } else if (arg == "--engine=event") {
+        engine = sim::Engine::kEvent;
       } else if (arg.rfind("--", 0) == 0) {
         std::cerr << "unknown or malformed flag: " << arg
-                  << "\nusage: coverage_sim [--snapshot-dir DIR] [planes] "
+                  << "\nusage: coverage_sim [--engine=epoch|event] "
+                     "[--snapshot-dir DIR] [planes] "
                      "[sats_per_plane] [minutes] [beamspread]\n";
         return 2;
       } else {
@@ -47,6 +58,7 @@ int main(int argc, char** argv) {
   }
 
   sim::SimulationConfig config;
+  config.engine = engine;
   config.shell.planes =
       positional.size() > 0
           ? static_cast<std::uint32_t>(std::atoi(positional[0].c_str()))
@@ -65,7 +77,8 @@ int main(int argc, char** argv) {
   config.step_s = 60.0;
   if (config.shell.planes == 0 || config.shell.sats_per_plane == 0 ||
       minutes <= 0.0 || config.scheduler.beamspread == 0) {
-    std::cerr << "usage: coverage_sim [--snapshot-dir DIR] [planes] "
+    std::cerr << "usage: coverage_sim [--engine=epoch|event] "
+                 "[--snapshot-dir DIR] [planes] "
                  "[sats_per_plane] [minutes] [beamspread]\n";
     return 1;
   }
@@ -103,8 +116,19 @@ int main(int argc, char** argv) {
                    profile.total_locations()))
             << " un(der)served locations\n\n";
 
-  const sim::Simulation simulation(config, profile);
-  auto run_sim = [&simulation] { return simulation.run(); };
+  std::cout << "engine: "
+            << (config.engine == sim::Engine::kEvent ? "event (rise/set queue)"
+                                                     : "epoch (fixed step)")
+            << "\n\n";
+
+  // Both engines produce byte-identical traces, so the cache fingerprint
+  // deliberately excludes the engine choice: a blob computed by one engine
+  // is a valid hit for the other.
+  auto run_sim = [&config, &profile] {
+    return event::run_simulation(config, profile,
+                                 core::SatelliteCapacityModel(),
+                                 runtime::global_executor());
+  };
   std::vector<sim::EpochCoverage> trace;
   if (cache != nullptr) {
     snapshot::Fingerprint fp = snapshot::stage_fingerprint("sim.epochs");

@@ -1,0 +1,43 @@
+#include "leodivide/event/queue.hpp"
+
+#include <utility>
+
+namespace leodivide::event {
+
+void EventQueue::push(const Event& ev) {
+  heap_.push_back(ev);
+  sift_up(heap_.size() - 1);
+}
+
+Event EventQueue::pop_min() {
+  Event min = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return min;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!event_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t smallest = left;
+    if (right < n && event_less(heap_[right], heap_[left])) smallest = right;
+    if (!event_less(heap_[smallest], heap_[i])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace leodivide::event

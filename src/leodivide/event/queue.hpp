@@ -1,0 +1,47 @@
+#pragma once
+// Deterministic priority queue of simulation events. A hand-rolled binary
+// min-heap over `event_less`: pop order is a pure function of the set of
+// pushed events (the comparator is a total order, so no two distinct
+// events ever tie), and all storage is caller-reservable so the steady
+// state of the event loop performs no heap allocation.
+
+#include <cstddef>
+#include <vector>
+
+#include "leodivide/event/event.hpp"
+
+namespace leodivide::event {
+
+/// Binary min-heap of events ordered by `event_less`. Not thread-safe;
+/// the engine funnels all pushes through a single deterministic serial
+/// pass, which is what makes the execution order thread-count invariant.
+class EventQueue {
+ public:
+  /// Pre-size the backing store; push() below capacity never allocates.
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_.capacity();
+  }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Drop all events, keeping capacity.
+  void clear() noexcept { heap_.clear(); }
+
+  /// Smallest event under `event_less`. Precondition: !empty().
+  [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+
+  void push(const Event& ev);
+
+  /// Removes and returns the smallest event. Precondition: !empty().
+  Event pop_min();
+
+ private:
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace leodivide::event

@@ -1,0 +1,36 @@
+#include "leodivide/event/trace.hpp"
+
+#include <stdexcept>
+
+#include "leodivide/sim/clock.hpp"
+
+namespace leodivide::event {
+
+void sample_epochs(const EventTrace& trace,
+                   std::vector<sim::EpochCoverage>& out) {
+  if (trace.segments.empty()) {
+    throw std::invalid_argument("sample_epochs: trace has no segments");
+  }
+  const sim::SimClock clock(trace.duration_s, trace.step_s);
+  out.resize(clock.epochs());
+  // Epoch times and segment starts are both ascending, so one forward
+  // pointer suffices. An epoch exactly on a segment start belongs to that
+  // segment (its schedule was computed at that very instant); the strict
+  // `<` probe below encodes that without any float equality test.
+  std::size_t seg = 0;
+  const std::size_t last = trace.segments.size() - 1;
+  for (std::size_t e = 0; e < clock.epochs(); ++e) {
+    const double t = clock.time_at(e);
+    while (seg < last && !(t < trace.segments[seg + 1].begin_s)) ++seg;
+    out[e] = trace.segments[seg].coverage;
+    out[e].time_s = t;
+  }
+}
+
+std::vector<sim::EpochCoverage> sample_epochs(const EventTrace& trace) {
+  std::vector<sim::EpochCoverage> out;
+  sample_epochs(trace, out);
+  return out;
+}
+
+}  // namespace leodivide::event

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "leodivide/io/json.hpp"
+#include "leodivide/obs/trace.hpp"
 
 namespace leodivide::obs {
 
@@ -253,6 +254,15 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::stage_totals_ms()
     out.emplace_back(name, static_cast<double>(t.total_ns) / 1e6);
   }
   return out;
+}
+
+ScopedLatency::ScopedLatency(Histogram& hist) noexcept
+    : hist_(metrics_enabled() ? &hist : nullptr),
+      start_ns_(hist_ != nullptr ? now_ns() : 0) {}
+
+ScopedLatency::~ScopedLatency() {
+  if (hist_ == nullptr) return;
+  hist_->record_always_us((now_ns() - start_ns_) / 1000);
 }
 
 }  // namespace leodivide::obs

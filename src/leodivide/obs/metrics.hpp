@@ -134,6 +134,25 @@ class Histogram {
   std::array<detail::ShardSlot, kMetricShards> sum_us_;
 };
 
+/// RAII latency probe: on destruction, records the scope's elapsed wall
+/// time into a Histogram in microseconds. The clock reads live here in
+/// obs/ (the one module the determinism lint exempts from its no-wallclock
+/// rule), so deterministic call sites — e.g. the event engine's recompute
+/// loop — can take per-scope latency without touching a clock themselves.
+/// With metrics off, both constructor and destructor reduce to a relaxed
+/// load + branch.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& hist) noexcept;
+  ~ScopedLatency();
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;         ///< null when metrics were off at entry
+  std::uint64_t start_ns_;
+};
+
 /// Immutable snapshot of every registered metric, in name order.
 struct TimerSnapshot {
   std::uint64_t count = 0;

@@ -4,12 +4,29 @@
 
 namespace leodivide::sim {
 
+namespace {
+
+// Epoch-count ceiling: casting a double >= 2^62 to std::size_t is already
+// undefined behaviour territory on 32-bit size_t and nonsensical as a loop
+// bound everywhere. Any horizon/step ratio beyond this is a configuration
+// error, not a simulation.
+constexpr double kMaxEpochs = 1e15;
+
+}  // namespace
+
 SimClock::SimClock(double duration_s, double step_s)
     : duration_s_(duration_s), step_s_(step_s) {
-  if (duration_s < 0.0 || step_s <= 0.0) {
+  // The explicit >= 0 / > 0 forms also reject NaN (every comparison with
+  // NaN is false), so non-finite inputs cannot reach the cast below.
+  if (!(duration_s >= 0.0) || !(step_s > 0.0) || !std::isfinite(duration_s) ||
+      !std::isfinite(step_s)) {
     throw std::invalid_argument("SimClock: bad duration/step");
   }
-  epochs_ = static_cast<std::size_t>(std::floor(duration_s / step_s)) + 1;
+  const double epochs = std::floor(duration_s / step_s) + 1.0;
+  if (!(epochs <= kMaxEpochs)) {
+    throw std::invalid_argument("SimClock: horizon/step yields too many epochs");
+  }
+  epochs_ = static_cast<std::size_t>(epochs);
 }
 
 double SimClock::time_at(std::size_t i) const {

@@ -5,16 +5,16 @@
 
 namespace leodivide::sim {
 
-std::vector<CellQos> compute_qos(const std::vector<SchedCell>& cells,
-                                 const ScheduleResult& schedule,
-                                 const core::SatelliteCapacityModel& model,
-                                 const SchedulerConfig& config,
-                                 double target_oversub) {
+void compute_qos(const std::vector<SchedCell>& cells,
+                 const ScheduleResult& schedule,
+                 const core::SatelliteCapacityModel& model,
+                 const SchedulerConfig& config, double target_oversub,
+                 std::vector<CellQos>& out) {
   if (target_oversub <= 0.0) {
     throw std::invalid_argument("compute_qos: target must be > 0");
   }
   const double per_beam = model.beam_capacity_gbps();
-  std::vector<CellQos> out;
+  out.clear();
   out.reserve(schedule.assignments.size());
   for (const auto& a : schedule.assignments) {
     if (a.cell >= cells.size()) {
@@ -32,6 +32,15 @@ std::vector<CellQos> compute_qos(const std::vector<SchedCell>& cells,
     q.within_target = q.achieved_oversub <= target_oversub;
     out.push_back(q);
   }
+}
+
+std::vector<CellQos> compute_qos(const std::vector<SchedCell>& cells,
+                                 const ScheduleResult& schedule,
+                                 const core::SatelliteCapacityModel& model,
+                                 const SchedulerConfig& config,
+                                 double target_oversub) {
+  std::vector<CellQos> out;
+  compute_qos(cells, schedule, model, config, target_oversub, out);
   return out;
 }
 

@@ -26,6 +26,10 @@ struct QosSummary {
   double mean_oversub = 0.0;   ///< over served cells with demand
   double worst_oversub = 0.0;
   double fraction_within_target = 0.0;
+
+  /// Exact (bit-level) equality; event-trace snapshot round trips rely on
+  /// it.
+  friend bool operator==(const QosSummary&, const QosSummary&) = default;
 };
 
 /// Computes per-cell QoS for a schedule. Whole-beam assignments receive
@@ -35,6 +39,15 @@ struct QosSummary {
     const std::vector<SchedCell>& cells, const ScheduleResult& schedule,
     const core::SatelliteCapacityModel& model, const SchedulerConfig& config,
     double target_oversub);
+
+/// As above, writing into caller-owned `out` (cleared first): repeated
+/// calls at warm capacity perform no heap allocation. The event engine's
+/// steady-state loop uses this overload.
+void compute_qos(const std::vector<SchedCell>& cells,
+                 const ScheduleResult& schedule,
+                 const core::SatelliteCapacityModel& model,
+                 const SchedulerConfig& config, double target_oversub,
+                 std::vector<CellQos>& out);
 
 /// Reduces per-cell QoS to a summary.
 [[nodiscard]] QosSummary summarize_qos(const std::vector<CellQos>& qos);

@@ -4,6 +4,8 @@
 // validates the analytic sizing model (the paper's lower bound can only be
 // optimistic; the simulator shows by how much).
 
+#include <vector>
+
 #include "leodivide/orbit/walker.hpp"
 #include "leodivide/sim/clock.hpp"
 #include "leodivide/sim/metrics.hpp"
@@ -15,6 +17,17 @@ class Executor;
 
 namespace leodivide::sim {
 
+/// Which simulator core executes the run. Both produce byte-identical
+/// `EpochCoverage` traces; the event engine (event/engine.hpp) reschedules
+/// only at certified visibility changes, so it wins whenever the step is
+/// fine relative to contact dynamics. The choice is deliberately *not*
+/// part of any snapshot fingerprint: by the golden-equivalence guarantee
+/// it cannot change the output bytes.
+enum class Engine {
+  kEpoch,  ///< fixed-step: full reschedule at every epoch
+  kEvent,  ///< event-driven: reschedule only at rise/set crossing windows
+};
+
 /// Simulation parameters.
 struct SimulationConfig {
   orbit::WalkerShell shell = orbit::starlink_shell1();
@@ -22,6 +35,7 @@ struct SimulationConfig {
   double duration_s = 600.0;
   double step_s = 60.0;
   double oversub_target = 20.0;  ///< beams_needed computed at this ratio
+  Engine engine = Engine::kEpoch;
 };
 
 /// Runs a full simulation against a demand profile.
@@ -47,6 +61,16 @@ class Simulation {
 
   [[nodiscard]] const SimulationConfig& config() const noexcept {
     return config_;
+  }
+  /// The scheduler this run drives (cell list, strategy, geometry inputs).
+  /// The event engine builds its crossing solvers against the same state.
+  [[nodiscard]] const BeamScheduler& scheduler() const noexcept {
+    return scheduler_;
+  }
+  /// The constellation's orbital elements, in satellite-index order.
+  [[nodiscard]] const std::vector<orbit::CircularOrbit>& orbits()
+      const noexcept {
+    return orbits_;
   }
 
  private:

@@ -374,4 +374,127 @@ std::vector<sim::EpochCoverage> deserialize_epochs(std::string_view file) {
   return epochs;
 }
 
+namespace {
+
+void write_coverage(ByteWriter& w, const sim::EpochCoverage& e) {
+  w.f64(e.time_s);
+  w.u64(e.cells_total);
+  w.u64(e.cells_served);
+  w.u64(e.locations_total);
+  w.u64(e.locations_served);
+  w.f64(e.mean_beam_utilization);
+  w.u64(e.satellites_in_view);
+}
+
+[[nodiscard]] sim::EpochCoverage read_coverage(ByteReader& r) {
+  sim::EpochCoverage e;
+  e.time_s = r.f64();
+  e.cells_total = static_cast<std::size_t>(r.u64());
+  e.cells_served = static_cast<std::size_t>(r.u64());
+  e.locations_total = r.u64();
+  e.locations_served = r.u64();
+  e.mean_beam_utilization = r.f64();
+  e.satellites_in_view = static_cast<std::size_t>(r.u64());
+  return e;
+}
+
+}  // namespace
+
+std::string serialize(const event::EventTrace& trace) {
+  ByteWriter meta;
+  meta.f64(trace.duration_s);
+  meta.f64(trace.step_s);
+  meta.u64(trace.cells_total);
+  meta.u64(trace.boundaries);
+  meta.u64(trace.handovers.cells_tracked);
+  meta.u64(trace.handovers.handovers);
+  meta.u64(trace.handovers.cells_dropped);
+  meta.u64(trace.handovers.cells_acquired);
+
+  ByteWriter events;
+  events.u64(trace.events.size());
+  for (const event::Event& e : trace.events) {
+    events.f64(e.time_s);
+    events.f64(e.window_lo_s);
+    events.f64(e.window_hi_s);
+    events.u8(static_cast<std::uint8_t>(e.kind));
+    events.u32(e.cell);
+    events.u32(e.sat);
+  }
+
+  ByteWriter segments;
+  segments.u64(trace.segments.size());
+  for (const event::CoverageSegment& s : trace.segments) {
+    segments.f64(s.begin_s);
+    segments.f64(s.end_s);
+    write_coverage(segments, s.coverage);
+    segments.u64(s.qos.cells_served);
+    segments.u64(s.qos.cells_within_target);
+    segments.f64(s.qos.mean_oversub);
+    segments.f64(s.qos.worst_oversub);
+    segments.f64(s.qos.fraction_within_target);
+  }
+
+  SnapshotWriter sw(ArtifactKind::kEventTrace);
+  sw.add_section("meta", std::move(meta).take());
+  sw.add_section("events", std::move(events).take());
+  sw.add_section("segments", std::move(segments).take());
+  return std::move(sw).finish();
+}
+
+event::EventTrace deserialize_event_trace(std::string_view file) {
+  const SnapshotReader reader = parse_expecting(file, ArtifactKind::kEventTrace);
+  event::EventTrace out;
+
+  ByteReader meta(reader.section("meta"));
+  out.duration_s = meta.f64();
+  out.step_s = meta.f64();
+  out.cells_total = meta.u64();
+  out.boundaries = meta.u64();
+  out.handovers.cells_tracked = static_cast<std::size_t>(meta.u64());
+  out.handovers.handovers = static_cast<std::size_t>(meta.u64());
+  out.handovers.cells_dropped = static_cast<std::size_t>(meta.u64());
+  out.handovers.cells_acquired = static_cast<std::size_t>(meta.u64());
+  meta.expect_exhausted("event_trace meta section");
+
+  ByteReader events(reader.section("events"));
+  const std::uint64_t n_events = events.u64();
+  out.events.reserve(static_cast<std::size_t>(n_events));
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    event::Event e;
+    e.time_s = events.f64();
+    e.window_lo_s = events.f64();
+    e.window_hi_s = events.f64();
+    const std::uint8_t kind = events.u8();
+    if (kind > static_cast<std::uint8_t>(event::EventKind::kGraze)) {
+      throw SnapshotError("event_trace: unknown event kind " +
+                          std::to_string(kind));
+    }
+    e.kind = static_cast<event::EventKind>(kind);
+    e.cell = events.u32();
+    e.sat = events.u32();
+    out.events.push_back(e);
+  }
+  events.expect_exhausted("event_trace events section");
+
+  ByteReader segments(reader.section("segments"));
+  const std::uint64_t n_segments = segments.u64();
+  out.segments.reserve(static_cast<std::size_t>(n_segments));
+  for (std::uint64_t i = 0; i < n_segments; ++i) {
+    event::CoverageSegment s;
+    s.begin_s = segments.f64();
+    s.end_s = segments.f64();
+    s.coverage = read_coverage(segments);
+    s.qos.cells_served = static_cast<std::size_t>(segments.u64());
+    s.qos.cells_within_target = static_cast<std::size_t>(segments.u64());
+    s.qos.mean_oversub = segments.f64();
+    s.qos.worst_oversub = segments.f64();
+    s.qos.fraction_within_target = segments.f64();
+    out.segments.push_back(s);
+  }
+  segments.expect_exhausted("event_trace segments section");
+
+  return out;
+}
+
 }  // namespace leodivide::snapshot

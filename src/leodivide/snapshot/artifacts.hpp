@@ -1,10 +1,11 @@
 #pragma once
-// LDSNAP serializers for the four heavy pipeline artifacts:
+// LDSNAP serializers for the five heavy pipeline artifacts:
 //
 //   demand::DemandDataset            (kLocations — expanded Location sets)
 //   demand::DemandProfile            (kProfile   — per-cell aggregates)
 //   core::AnalysisResults            (kAnalysis  — sizing/report results)
 //   std::vector<sim::EpochCoverage>  (kEpochs    — simulation summaries)
+//   event::EventTrace                (kEventTrace — event-driven run traces)
 //
 // Round trips are exact: doubles travel as IEEE-754 bit patterns, so
 // deserialize(serialize(x)) == x bit-for-bit and a cached stage can replace
@@ -19,6 +20,7 @@
 
 #include "leodivide/core/scenario.hpp"
 #include "leodivide/demand/dataset.hpp"
+#include "leodivide/event/trace.hpp"
 #include "leodivide/sim/coverage.hpp"
 #include "leodivide/snapshot/format.hpp"
 
@@ -28,11 +30,13 @@ namespace leodivide::snapshot {
 [[nodiscard]] std::string serialize(const demand::DemandProfile& profile);
 [[nodiscard]] std::string serialize(const core::AnalysisResults& results);
 [[nodiscard]] std::string serialize(const std::vector<sim::EpochCoverage>& epochs);
+[[nodiscard]] std::string serialize(const event::EventTrace& trace);
 
 [[nodiscard]] demand::DemandDataset deserialize_dataset(std::string_view file);
 [[nodiscard]] demand::DemandProfile deserialize_profile(std::string_view file);
 [[nodiscard]] core::AnalysisResults deserialize_analysis(std::string_view file);
 [[nodiscard]] std::vector<sim::EpochCoverage> deserialize_epochs(
     std::string_view file);
+[[nodiscard]] event::EventTrace deserialize_event_trace(std::string_view file);
 
 }  // namespace leodivide::snapshot

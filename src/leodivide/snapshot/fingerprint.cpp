@@ -4,6 +4,7 @@
 
 #include "leodivide/core/scenario.hpp"
 #include "leodivide/demand/generator.hpp"
+#include "leodivide/event/engine.hpp"
 #include "leodivide/sim/simulation.hpp"
 
 namespace leodivide::snapshot {
@@ -113,6 +114,12 @@ void mix(Fingerprint& fp, const sim::SimulationConfig& config) {
       .mix_f64(config.duration_s)
       .mix_f64(config.step_s)
       .mix_f64(config.oversub_target);
+}
+
+void mix(Fingerprint& fp, const event::EventConfig& config) {
+  fp.mix_f64(config.window_s)
+      .mix_f64(config.eval_slack)
+      .mix_f64(config.guard_s);
 }
 
 }  // namespace leodivide::snapshot

@@ -27,6 +27,9 @@ struct AnalysisConfig;
 namespace leodivide::sim {
 struct SimulationConfig;
 }
+namespace leodivide::event {
+struct EventConfig;
+}
 
 namespace leodivide::snapshot {
 
@@ -63,5 +66,6 @@ void mix(Fingerprint& fp, const demand::GeneratorConfig& config);
 void mix(Fingerprint& fp, const core::SizingModel& model);
 void mix(Fingerprint& fp, const core::AnalysisConfig& config);
 void mix(Fingerprint& fp, const sim::SimulationConfig& config);
+void mix(Fingerprint& fp, const event::EventConfig& config);
 
 }  // namespace leodivide::snapshot

@@ -25,6 +25,7 @@ std::string_view to_string(ArtifactKind kind) noexcept {
     case ArtifactKind::kProfile: return "profile";
     case ArtifactKind::kAnalysis: return "analysis";
     case ArtifactKind::kEpochs: return "epochs";
+    case ArtifactKind::kEventTrace: return "event_trace";
   }
   return "unknown";
 }
@@ -186,7 +187,7 @@ SnapshotReader SnapshotReader::parse(std::string_view file) {
   }
   const std::uint16_t kind = r.u16();
   if (kind < static_cast<std::uint16_t>(ArtifactKind::kLocations) ||
-      kind > static_cast<std::uint16_t>(ArtifactKind::kEpochs)) {
+      kind > static_cast<std::uint16_t>(ArtifactKind::kEventTrace)) {
     fail("unknown artifact kind " + std::to_string(kind), kMagic.size() + 4);
   }
   out.kind_ = static_cast<ArtifactKind>(kind);

@@ -51,6 +51,7 @@ enum class ArtifactKind : std::uint16_t {
   kProfile = 2,    ///< demand::DemandProfile (per-cell aggregates)
   kAnalysis = 3,   ///< core::AnalysisResults (sizing/affordability results)
   kEpochs = 4,     ///< std::vector<sim::EpochCoverage> (sim epoch summaries)
+  kEventTrace = 5, ///< event::EventTrace (event-driven run: events+segments)
 };
 
 /// Human-readable artifact-kind name ("locations", "profile", ...).

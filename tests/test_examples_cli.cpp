@@ -72,6 +72,18 @@ INSTANTIATE_TEST_SUITE_P(AllExamples, ExamplesCli,
                            return std::string(info.param);
                          });
 
+TEST(ExamplesCli, EngineFlagUnknownValueRejected) {
+  const std::string binary = example_path("coverage_sim");
+  if (!fs::exists(binary)) {
+    GTEST_SKIP() << binary << " not built";
+  }
+  const RunResult r = run_command(binary + " --engine=warp");
+  EXPECT_NE(r.exit_code, 0) << "--engine=warp accepted:\n" << r.output;
+  EXPECT_NE(r.output.find("--engine"), std::string::npos)
+      << "coverage_sim did not name the offending flag:\n"
+      << r.output;
+}
+
 TEST(ExamplesCli, SnapshotDirWithoutValueRejected) {
   const std::string binary = example_path("national_analysis");
   if (!fs::exists(binary)) {

@@ -16,6 +16,7 @@
 
 #include "leodivide/core/scenario.hpp"
 #include "leodivide/demand/generator.hpp"
+#include "leodivide/event/engine.hpp"
 #include "leodivide/io/csv.hpp"
 #include "leodivide/io/fileio.hpp"
 #include "leodivide/io/json.hpp"
@@ -79,6 +80,28 @@ core::AnalysisResults small_analysis() {
 std::vector<sim::EpochCoverage> small_epochs() {
   return {{0.0, 100, 97, 50000, 48000, 0.83, 41},
           {60.0, 100, 99, 50000, 49800, 0.86, 43}};
+}
+
+event::EventTrace small_trace() {
+  event::EventTrace t;
+  t.duration_s = 600.0;
+  t.step_s = 60.0;
+  t.cells_total = 100;
+  t.boundaries = 7;
+  t.handovers = {90, 12, 3, 5};
+  t.events = {
+      {0.0, 0.0, 0.0, event::EventKind::kInitial, 0, 0},
+      {118.25, 118.25, 118.251, event::EventKind::kRise, 4, 17},
+      {301.5, 301.5, 301.501, event::EventKind::kSet, 9, 2},
+      {550.0, 549.999, 550.001, event::EventKind::kGraze, 1, 8},
+  };
+  t.segments = {
+      {0.0, 118.25, {0.0, 100, 97, 50000, 48000, 0.83, 41},
+       {97, 90, 4.2, 19.5, 0.9}},
+      {118.25, 600.0, {118.25, 100, 99, 50000, 49800, 0.86, 43},
+       {99, 95, 4.0, 18.0, 0.95}},
+  };
+  return t;
 }
 
 // ------------------------------------------------------- byte primitives --
@@ -231,11 +254,23 @@ TEST(Artifacts, EpochsRoundTripExact) {
   EXPECT_EQ(snapshot::deserialize_epochs(blob), epochs);
 }
 
+TEST(Artifacts, EventTraceRoundTripExact) {
+  const event::EventTrace trace = small_trace();
+  const std::string blob = snapshot::serialize(trace);
+  const snapshot::SnapshotReader reader =
+      snapshot::SnapshotReader::parse(blob);
+  EXPECT_EQ(reader.kind(), snapshot::ArtifactKind::kEventTrace);
+  EXPECT_EQ(to_string(reader.kind()), "event_trace");
+  EXPECT_EQ(snapshot::deserialize_event_trace(blob), trace);
+}
+
 TEST(Artifacts, SerializationIsDeterministic) {
   EXPECT_EQ(snapshot::serialize(small_profile()),
             snapshot::serialize(small_profile()));
   EXPECT_EQ(snapshot::serialize(small_analysis()),
             snapshot::serialize(small_analysis()));
+  EXPECT_EQ(snapshot::serialize(small_trace()),
+            snapshot::serialize(small_trace()));
 }
 
 // -------------------------------------------------------- adversarial input
@@ -335,6 +370,38 @@ TEST(Adversarial, DanglingCountyIndexRejected) {
                snapshot::SnapshotError);
 }
 
+TEST(Adversarial, EventTraceUnknownEventKindRejected) {
+  // A container-valid event-trace snapshot whose single event carries an
+  // out-of-range kind byte must fail the semantic re-validation, not
+  // produce a bogus enum value.
+  snapshot::ByteWriter meta;
+  meta.f64(60.0);
+  meta.f64(60.0);
+  meta.u64(1);
+  meta.u64(0);
+  meta.u64(0);
+  meta.u64(0);
+  meta.u64(0);
+  meta.u64(0);
+  snapshot::ByteWriter events;
+  events.u64(1);
+  events.f64(0.0);
+  events.f64(0.0);
+  events.f64(0.0);
+  events.u8(200);  // no such EventKind
+  events.u32(0);
+  events.u32(0);
+  snapshot::ByteWriter segments;
+  segments.u64(0);
+  snapshot::SnapshotWriter sw(snapshot::ArtifactKind::kEventTrace);
+  sw.add_section("meta", std::move(meta).take());
+  sw.add_section("events", std::move(events).take());
+  sw.add_section("segments", std::move(segments).take());
+  const std::string blob = std::move(sw).finish();
+  EXPECT_THROW((void)snapshot::deserialize_event_trace(blob),
+               snapshot::SnapshotError);
+}
+
 TEST(Adversarial, UnknownTechnologyRejected) {
   snapshot::ByteWriter counties;
   counties.u64(1);
@@ -395,6 +462,23 @@ TEST(Fingerprints, ConfigFieldsChangeTheDigest) {
   snapshot::Fingerprint fc = snapshot::stage_fingerprint("demand.profile");
   snapshot::mix(fc, c);
   EXPECT_NE(fa.digest(), fc.digest());
+}
+
+TEST(Fingerprints, EventConfigFieldsChangeTheDigest) {
+  const event::EventConfig base;
+  snapshot::Fingerprint fa = snapshot::stage_fingerprint("sim.event");
+  snapshot::mix(fa, base);
+
+  event::EventConfig tweaked;
+  tweaked.guard_s = base.guard_s * 2.0;
+  snapshot::Fingerprint fb = snapshot::stage_fingerprint("sim.event");
+  snapshot::mix(fb, tweaked);
+  EXPECT_NE(fa.digest(), fb.digest());
+
+  event::EventConfig again;
+  snapshot::Fingerprint fc = snapshot::stage_fingerprint("sim.event");
+  snapshot::mix(fc, again);
+  EXPECT_EQ(fa.digest(), fc.digest());
 }
 
 TEST(Fingerprints, HexIs16LowercaseDigits) {

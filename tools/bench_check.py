@@ -1,27 +1,47 @@
 #!/usr/bin/env python3
-"""Gate the sim.schedule bench harness output against BENCH_sim.json.
+"""Gate micro_perf harness output against one or more JSON baselines.
 
-Usage: bench_check.py <harness-output-file> <baseline-json>
+Usage: bench_check.py <harness-output-file> <baseline-json> [<baseline-json>...]
 
-The harness (``micro_perf --sim-schedule``) prints one JSON line per case:
+Each harness mode prints one JSON line per case, tagged with its bench name:
 
     {"bench":"sim.schedule","cells":N,"sats":N,"naive_ms":X,"indexed_ms":Y,"speedup":Z}
+    {"bench":"sim.event","cells":N,"sats":N,"epochs":N,"epoch_ms":X,"event_ms":Y,"speedup":Z}
 
-This script matches each baseline case by (cells, sats) and enforces the
-host-independent gate ``speedup >= min_speedup``.  Absolute milliseconds are
+A baseline file names its bench (``bench``), a file-level ``min_speedup``
+default, and a list of ``cases``.  A case may carry its own ``min_speedup``,
+which overrides the file-level default for that case alone — tighter gates
+where the baseline has margin, looser ones where it is close.
+
+Cases are matched to harness lines by every non-timing field (everything
+except ``speedup``, ``min_speedup`` and fields ending in ``_ms``), so new
+bench kinds work without touching this script.  Absolute milliseconds are
 compared against the recorded baseline informationally only (CI runners and
 dev machines differ); the speedup ratio is what must hold.
 
-Exits nonzero if any baseline case is missing from the output or fails the
+Exits nonzero if any baseline case is missing from the output or fails its
 speedup gate.
 """
 
 import json
 import sys
 
+TIMING_KEYS = ("speedup", "min_speedup")
+
+
+def case_key(fields):
+    """Host-independent identity of a case: every non-timing field."""
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in fields.items()
+            if k not in TIMING_KEYS and not k.endswith("_ms") and k != "bench"
+        )
+    )
+
 
 def parse_harness_lines(path):
-    """Return {(cells, sats): record} for every sim.schedule JSON line."""
+    """Return {(bench, case_key): record} for every JSON line in the file."""
     results = {}
     with open(path, encoding="utf-8") as f:
         for line in f:
@@ -32,32 +52,23 @@ def parse_harness_lines(path):
                 rec = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if rec.get("bench") != "sim.schedule":
+            bench = rec.get("bench")
+            if bench is None or "speedup" not in rec:
                 continue
-            results[(rec["cells"], rec["sats"])] = rec
+            results[(bench, case_key(rec))] = rec
     return results
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-
-    output_path, baseline_path = argv[1], argv[2]
-    with open(baseline_path, encoding="utf-8") as f:
-        baseline = json.load(f)
-
-    min_speedup = float(baseline["min_speedup"])
-    results = parse_harness_lines(output_path)
-    if not results:
-        print(f"FAIL: no sim.schedule JSON lines found in {output_path}")
-        return 1
-
+def check_baseline(baseline, results):
+    """Gate one baseline file's cases; returns the number of failures."""
+    bench = baseline["bench"]
+    default_min = float(baseline["min_speedup"])
     failures = 0
     for case in baseline["cases"]:
-        key = (case["cells"], case["sats"])
-        rec = results.get(key)
-        label = f"{key[0]} cells x {key[1]} sats"
+        key = case_key(case)
+        rec = results.get((bench, key))
+        label = bench + ": " + " ".join(f"{k}={v}" for k, v in key)
+        min_speedup = float(case.get("min_speedup", default_min))
         if rec is None:
             print(f"FAIL: {label}: missing from harness output")
             failures += 1
@@ -66,23 +77,47 @@ def main(argv):
         speedup = float(rec["speedup"])
         ok = speedup >= min_speedup
         verdict = "ok" if ok else "FAIL"
+        source = "per-case" if "min_speedup" in case else "default"
         print(
             f"{verdict}: {label}: speedup {speedup:.2f}x "
-            f"(gate >= {min_speedup:.1f}x, baseline {case['speedup']:.2f}x)"
+            f"(gate >= {min_speedup:.1f}x {source}, "
+            f"baseline {case['speedup']:.2f}x)"
         )
-        drift = float(rec["indexed_ms"]) / float(case["indexed_ms"])
-        print(
-            f"  info: indexed {rec['indexed_ms']:.3f} ms vs baseline "
-            f"{case['indexed_ms']:.3f} ms ({drift:.2f}x, informational); "
-            f"naive {rec['naive_ms']:.3f} ms vs {case['naive_ms']:.3f} ms"
-        )
+        for field in sorted(case):
+            if field.endswith("_ms") and field in rec:
+                drift = float(rec[field]) / float(case[field])
+                print(
+                    f"  info: {field} {float(rec[field]):.3f} ms vs baseline "
+                    f"{float(case[field]):.3f} ms ({drift:.2f}x, informational)"
+                )
         if not ok:
             failures += 1
+    return failures
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    output_path, baseline_paths = argv[1], argv[2:]
+    results = parse_harness_lines(output_path)
+    if not results:
+        print(f"FAIL: no bench JSON lines found in {output_path}")
+        return 1
+
+    failures = 0
+    checked = 0
+    for baseline_path in baseline_paths:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)
+        failures += check_baseline(baseline, results)
+        checked += len(baseline["cases"])
 
     if failures:
-        print(f"FAIL: {failures} case(s) below the {min_speedup:.1f}x gate")
+        print(f"FAIL: {failures} case(s) below their speedup gate")
         return 1
-    print(f"ok: all {len(baseline['cases'])} case(s) meet the speedup gate")
+    print(f"ok: all {checked} case(s) meet their speedup gates")
     return 0
 
 

@@ -42,10 +42,12 @@ void usage() {
 int cmd_inspect(const std::string& path) {
   const std::string file = io::read_text_file(path);
   const snapshot::SnapshotReader reader = snapshot::SnapshotReader::parse(file);
-  std::printf("%s: LDSNAP v%u, artifact kind: %s, %zu section(s), %zu bytes\n",
-              path.c_str(), reader.version(),
-              std::string(to_string(reader.kind())).c_str(),
-              reader.sections().size(), file.size());
+  std::printf(
+      "%s: LDSNAP v%u, artifact kind: %s (%u), %zu section(s), %zu bytes\n",
+      path.c_str(), reader.version(),
+      std::string(to_string(reader.kind())).c_str(),
+      static_cast<unsigned>(reader.kind()), reader.sections().size(),
+      file.size());
   for (const auto& s : reader.sections()) {
     std::printf("  section %-12s %12zu bytes  checksum %016llx\n",
                 s.name.c_str(), s.payload.size(),
@@ -71,6 +73,9 @@ void deep_verify(const std::string& file) {
       break;
     case snapshot::ArtifactKind::kEpochs:
       (void)snapshot::deserialize_epochs(file);
+      break;
+    case snapshot::ArtifactKind::kEventTrace:
+      (void)snapshot::deserialize_event_trace(file);
       break;
   }
 }

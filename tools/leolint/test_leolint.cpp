@@ -99,6 +99,17 @@ TEST(LeolintFixtures, CleanFileHasNoFindings) {
   EXPECT_TRUE(lint_fixture("clean.cpp").empty());
 }
 
+TEST(LeolintFixtures, EventComparatorIdiomIsCovered) {
+  // The event queue's total order (event.hpp event_less) must be inside
+  // the determinism rules' example corpus: the strict-< idiom the engine
+  // uses lints clean, and the naive ==-on-time tie-break it replaced is
+  // diagnosed by R4.
+  const auto found = shape(lint_fixture("event_comparator.cpp"));
+  const std::vector<std::pair<std::size_t, std::string>> expected{
+      {28, "float-eq"}};
+  EXPECT_EQ(found, expected);
+}
+
 TEST(LeolintRules, PathExemptions) {
   const std::string rng = "double noise() { return rand() / 32768.0; }\n";
   EXPECT_TRUE(lint_source("src/leodivide/stats/rng.cpp", rng).empty());
