@@ -37,11 +37,18 @@
 #include "leodivide/hex/compact.hpp"
 #include "leodivide/orbit/isl.hpp"
 #include "leodivide/orbit/tle.hpp"
+#include "leodivide/afford/affordability.hpp"
+#include "leodivide/core/served_fraction.hpp"
+#include "leodivide/serve/incremental.hpp"
+#include "leodivide/serve/session.hpp"
 #include "leodivide/sim/maxflow.hpp"
 #include "leodivide/sim/scheduler.hpp"
 #include "leodivide/sim/simulation.hpp"
 #include "leodivide/sim/workspace.hpp"
 #include "leodivide/stats/distributions.hpp"
+
+#include <bit>
+#include <thread>
 
 namespace {
 
@@ -454,6 +461,186 @@ int run_sim_event_harness() {
   return rc;
 }
 
+// Bit-level equality for the serve-delta harness's cross-checks (the
+// determinism contract is byte-identical, not approximately-equal).
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool same_sizing(const core::SizingResult& a, const core::SizingResult& b) {
+  return same_bits(a.satellites, b.satellites) &&
+         same_bits(a.binding_lat_deg, b.binding_lat_deg) &&
+         a.beams_on_binding == b.beams_on_binding &&
+         a.binding_cell_index == b.binding_cell_index;
+}
+
+// The `--serve-delta` harness: incremental per-region recompute (serve/)
+// vs full library recompute after each single-cell delta. Both paths apply
+// the same op sequence to their own copy of the baseline and answer the
+// same resize + served-fraction queries each round; answers are checked
+// bit-identical before anything is timed. Affordability is cross-checked
+// once at the end but kept out of the timed loop: an add-delta revises a
+// county count, so both paths rebuild the affordability analyzer in full —
+// there is no incremental win to measure there. Returns the process exit
+// code: nonzero on any answer mismatch.
+int run_serve_delta_harness(std::size_t smoke_workers) {
+  bench::banner("micro_perf: serve.delta incremental vs full recompute");
+  int rc = 0;
+  constexpr int kRounds = 200;
+  constexpr double kBeamspread = 10.0;
+  constexpr double kOversubCap = 20.0;
+
+  const demand::DemandProfile baseline =
+      demand::SyntheticGenerator({.seed = 42, .scale = 0.5})
+          .generate_profile();
+  const std::size_t n_cells = baseline.cell_count();
+  std::cout << "  baseline: " << n_cells << " cells, "
+            << baseline.counties().size() << " counties, " << kRounds
+            << " rounds of 1 add-delta + resize + served\n";
+
+  // One add-op per round, spread over the baseline's cells.
+  std::vector<demand::DeltaOp> ops;
+  ops.reserve(kRounds);
+  for (int r = 0; r < kRounds; ++r) {
+    demand::DeltaOp op;
+    op.kind = demand::DeltaKind::kAddLocations;
+    op.position =
+        baseline.cells()[(static_cast<std::size_t>(r) * 9973) % n_cells]
+            .center;
+    op.count = 25;
+    ops.push_back(op);
+  }
+
+  const core::SizingModel model{};
+  runtime::Executor& executor = runtime::serial_executor();
+
+  // Incremental path: engine owns its copy; cold partial build happens on
+  // the first query and is reported separately (it is the startup cost a
+  // long-lived server pays once).
+  serve::IncrementalEngine engine(baseline, serve::EngineConfig{});
+  const bench::WallTimer cold_timer;
+  (void)engine.query_resize(kBeamspread, kOversubCap);
+  (void)engine.query_served_fraction(kBeamspread, kOversubCap);
+  const double cold_ms = cold_timer.elapsed_ms();
+
+  std::vector<serve::ResizeAnswer> inc_resize(ops.size());
+  std::vector<serve::ServedFractionAnswer> inc_served(ops.size());
+  const bench::WallTimer inc_timer;
+  for (std::size_t r = 0; r < ops.size(); ++r) {
+    (void)engine.apply(ops[r]);
+    inc_resize[r] = engine.query_resize(kBeamspread, kOversubCap);
+    inc_served[r] = engine.query_served_fraction(kBeamspread, kOversubCap);
+  }
+  const double incremental_ms = inc_timer.elapsed_ms();
+
+  // Full path: same ops against a second copy, answered by the plain
+  // library calls on every round.
+  demand::DemandProfile full_profile = baseline;
+  const hex::HexGrid grid;
+  demand::DeltaApplier applier(full_profile, grid,
+                               hex::kServiceCellResolution);
+  std::vector<core::SizingResult> full_full(ops.size());
+  std::vector<core::SizingResult> full_capped(ops.size());
+  std::vector<double> full_cell_frac(ops.size());
+  std::vector<double> full_loc_frac(ops.size());
+  const bench::WallTimer full_timer;
+  for (std::size_t r = 0; r < ops.size(); ++r) {
+    (void)applier.apply(ops[r]);
+    full_full[r] = core::size_full_service(full_profile, model, kBeamspread);
+    full_capped[r] = core::size_with_cap(full_profile, model, kBeamspread,
+                                         kOversubCap, executor);
+    full_cell_frac[r] = core::served_cell_fraction(
+        full_profile, model.capacity, kBeamspread, kOversubCap);
+    full_loc_frac[r] = core::served_location_fraction(
+        full_profile, model.capacity, kBeamspread, kOversubCap);
+  }
+  const double full_ms = full_timer.elapsed_ms();
+
+  for (std::size_t r = 0; r < ops.size(); ++r) {
+    if (!same_sizing(inc_resize[r].full, full_full[r]) ||
+        !same_sizing(inc_resize[r].capped, full_capped[r]) ||
+        !same_bits(inc_served[r].cell_fraction, full_cell_frac[r]) ||
+        !same_bits(inc_served[r].location_fraction, full_loc_frac[r])) {
+      std::cerr << "FAIL: incremental and full answers differ at round " << r
+                << "\n";
+      rc = 1;
+    }
+  }
+
+  // Affordability correctness on the fully mutated profile (untimed).
+  const afford::ServicePlan plan = afford::starlink_residential();
+  const afford::PlanAffordability inc_afford =
+      engine.query_affordability(plan, afford::kAffordabilityThreshold);
+  const afford::PlanAffordability full_afford =
+      afford::AffordabilityAnalyzer(full_profile)
+          .evaluate(plan, afford::kAffordabilityThreshold);
+  if (!(inc_afford == full_afford)) {
+    std::cerr << "FAIL: incremental and full affordability answers differ\n";
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::cout << "  outputs:  byte-identical over " << kRounds
+              << " rounds (+ affordability)\n";
+  }
+
+  std::cout << "  cold partial build: " << cold_ms << " ms\n"
+            << "  full:        " << full_ms << " ms\n"
+            << "  incremental: " << incremental_ms << " ms\n"
+            << "  speedup:     " << full_ms / incremental_ms << "x\n";
+  std::cout << "{\"bench\":\"serve.delta\",\"cells\":" << n_cells
+            << ",\"rounds\":" << kRounds << ",\"deltas_per_round\":1"
+            << ",\"full_ms\":" << full_ms
+            << ",\"incremental_ms\":" << incremental_ms
+            << ",\"speedup\":" << full_ms / incremental_ms << "}"
+            << std::endl;
+
+  // Concurrency smoke: `--workers W` threads hammer one ServiceState (the
+  // same lock the socket server's worker pool contends on) and every reply
+  // must come back well-formed and identical across threads.
+  if (smoke_workers > 1) {
+    serve::ServiceState state(
+        demand::SyntheticGenerator({.seed = 42, .scale = 0.05})
+            .generate_profile(),
+        serve::ServiceConfig{});
+    const std::string expected =
+        state
+            .handle({serve::protocol::MsgType::kQueryServedFraction,
+                     encode(serve::protocol::QueryServedFractionRequest{
+                         kBeamspread, kOversubCap})})
+            .payload;
+    std::vector<std::thread> threads;
+    std::vector<int> errors(smoke_workers, 0);
+    for (std::size_t w = 0; w < smoke_workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (int q = 0; q < 50; ++q) {
+          const serve::protocol::Frame reply =
+              state.handle({serve::protocol::MsgType::kQueryServedFraction,
+                            encode(serve::protocol::QueryServedFractionRequest{
+                                kBeamspread, kOversubCap})});
+          if (reply.type !=
+                  serve::protocol::MsgType::kServedFractionResult ||
+              reply.payload != expected) {
+            errors[w] = 1;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::size_t w = 0; w < smoke_workers; ++w) {
+      if (errors[w] != 0) {
+        std::cerr << "FAIL: concurrent session smoke saw a bad reply\n";
+        rc = 1;
+        break;
+      }
+    }
+    if (rc == 0) {
+      std::cout << "  smoke:    " << smoke_workers << " worker(s) x 50"
+                << " queries, all replies identical\n";
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -465,6 +652,8 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   bool sim_schedule = false;
   bool sim_event = false;
+  bool serve_delta = false;
+  std::size_t workers = leodivide::runtime::worker_count_from_env(4);
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -477,6 +666,10 @@ int main(int argc, char** argv) {
       sim_schedule = true;
     } else if (arg == "--sim-event") {
       sim_event = true;
+    } else if (arg == "--serve-delta") {
+      serve_delta = true;
+    } else if (leodivide::runtime::parse_workers_arg(argc, argv, i, workers)) {
+      // Worker-pool flag (serve-delta concurrency smoke); consumed.
     } else if (obs::parse_cli_arg(obs_options, argc, argv, i)) {
       // Observability flag; consumed.
     } else {
@@ -486,7 +679,9 @@ int main(int argc, char** argv) {
   obs::apply(obs_options);
 
   int rc = 0;
-  if (sim_schedule) {
+  if (serve_delta) {
+    rc = run_serve_delta_harness(workers);
+  } else if (sim_schedule) {
     rc = run_sim_schedule_harness();
   } else if (sim_event) {
     rc = run_sim_event_harness();

@@ -57,6 +57,10 @@ struct SizingResult {
   double binding_lat_deg = 0.0;
   std::uint32_t beams_on_binding = 0;
   std::size_t binding_cell_index = 0;  ///< index into profile.cells()
+
+  // Exact comparison on purpose: sizing is deterministic, and callers
+  // (serve/ paranoid mode, golden tests) check bit-for-bit agreement.
+  friend bool operator==(const SizingResult&, const SizingResult&) = default;
 };
 
 /// Full-service deployment (F1 option A): every location served, unbounded

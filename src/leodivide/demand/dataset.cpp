@@ -51,6 +51,21 @@ DemandProfile::DemandProfile(std::vector<CellDemand> cells,
   }
 }
 
+CellDemand& DemandProfile::cell_at(std::size_t index) {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("DemandProfile: cell index out of range");
+  }
+  return cells_[index];
+}
+
+std::size_t DemandProfile::add_cell(CellDemand cell) {
+  if (cell.county_index >= counties_.size()) {
+    throw std::invalid_argument("DemandProfile: cell county out of range");
+  }
+  cells_.push_back(cell);
+  return cells_.size() - 1;
+}
+
 std::uint64_t DemandProfile::total_locations() const noexcept {
   std::uint64_t total = 0;
   for (const auto& c : cells_) total += c.underserved;

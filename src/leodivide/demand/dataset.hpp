@@ -53,6 +53,16 @@ class DemandProfile {
     return cells_.size();
   }
 
+  /// Mutable cell record, bounds-checked — the delta-application surface
+  /// (see delta.hpp). Callers own the invariant that county aggregates stay
+  /// consistent with per-cell edits; DeltaApplier maintains it for them.
+  [[nodiscard]] CellDemand& cell_at(std::size_t index);
+
+  /// Appends a cell (cells are append-only: existing indices never move,
+  /// so per-cell state keyed by index survives). Validates the cell's
+  /// county index against the county table; returns the new cell's index.
+  std::size_t add_cell(CellDemand cell);
+
   /// Total un(der)served locations.
   [[nodiscard]] std::uint64_t total_locations() const noexcept;
 

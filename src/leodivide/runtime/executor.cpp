@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "leodivide/runtime/thread_pool.hpp"
@@ -67,6 +69,39 @@ std::size_t default_thread_count() {
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : hc;
+}
+
+std::size_t worker_count_from_env(std::size_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read at startup; the process
+  // never calls setenv, so there is no racing writer.
+  if (const char* env = std::getenv("LEODIVIDE_WORKERS")) {
+    if (const auto parsed = parse_thread_count(env)) return *parsed;
+  }
+  return fallback;
+}
+
+bool parse_workers_arg(int argc, char** argv, int& i, std::size_t& workers) {
+  const std::string_view arg = argv[i];
+  constexpr std::string_view kFlag = "--workers";
+  std::string_view value;
+  if (arg == kFlag) {
+    if (i + 1 >= argc) {
+      throw std::runtime_error("--workers requires a count");
+    }
+    value = argv[++i];
+  } else if (arg.substr(0, kFlag.size()) == kFlag &&
+             arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
+    value = arg.substr(kFlag.size() + 1);
+  } else {
+    return false;
+  }
+  const auto parsed = parse_thread_count(value);
+  if (!parsed) {
+    throw std::runtime_error("invalid --workers value '" + std::string(value) +
+                             "'");
+  }
+  workers = *parsed;
+  return true;
 }
 
 Executor& global_executor() {

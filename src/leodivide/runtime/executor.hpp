@@ -65,4 +65,17 @@ void set_global_threads(std::size_t threads);
 /// override: LEODIVIDE_THREADS if set, else hardware concurrency.
 [[nodiscard]] std::size_t default_thread_count();
 
+/// Worker-pool sizing for serving binaries: LEODIVIDE_WORKERS if it parses
+/// per parse_thread_count, else `fallback`. Same hardening as
+/// LEODIVIDE_THREADS — malformed values fall back, never clamp.
+[[nodiscard]] std::size_t worker_count_from_env(std::size_t fallback);
+
+/// Consumes `--workers <n>` / `--workers=<n>` at argv[i] (advancing i past
+/// a separate value argument) and writes the parsed count to `workers`.
+/// Returns false when argv[i] is not a workers flag. Throws
+/// std::runtime_error when the flag is present but the value is missing or
+/// fails parse_thread_count — an invalid explicit request is a
+/// configuration bug, not a wish.
+bool parse_workers_arg(int argc, char** argv, int& i, std::size_t& workers);
+
 }  // namespace leodivide::runtime

@@ -1,0 +1,166 @@
+#include "leodivide/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+
+namespace leodivide::serve {
+
+namespace {
+
+[[nodiscard]] std::string errno_message() {
+  return std::error_code(errno, std::generic_category()).message();
+}
+
+[[nodiscard]] const sockaddr* as_sockaddr(const sockaddr_in& addr) noexcept {
+  return static_cast<const sockaddr*>(static_cast<const void*>(&addr));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  if (fd_ >= 0) throw std::runtime_error("serve client: already connected");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("serve client: bad host '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("serve client: socket() failed: " +
+                             errno_message());
+  }
+  if (::connect(fd, as_sockaddr(addr), sizeof(addr)) != 0) {
+    const std::string msg = errno_message();
+    ::close(fd);
+    throw std::runtime_error("serve client: connect(" + host + ":" +
+                             std::to_string(port) + ") failed: " + msg);
+  }
+  fd_ = fd;
+  decoder_.reset();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_.reset();
+}
+
+protocol::Frame Client::call(protocol::MsgType type,
+                             const std::string& payload) {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+
+  const std::string wire = encode_frame(type, payload);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("serve client: send failed: " +
+                               errno_message());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  char buf[64 * 1024];
+  for (;;) {
+    if (auto frame = decoder_.next()) return *frame;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("serve client: recv failed: " +
+                               errno_message());
+    }
+    if (n == 0) {
+      throw std::runtime_error("serve client: server closed connection");
+    }
+    decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+const protocol::Frame& Client::expect(const protocol::Frame& frame,
+                                      protocol::MsgType expected) {
+  if (frame.type == expected) return frame;
+  if (frame.type == protocol::MsgType::kError) {
+    throw ServiceError(protocol::decode_error_reply(frame.payload).message);
+  }
+  throw ServiceError(
+      "serve client: expected " + std::string(to_string(expected)) +
+      " reply, got " + std::string(to_string(frame.type)));
+}
+
+protocol::HelloReply Client::hello(const std::string& client_name) {
+  protocol::HelloRequest req;
+  req.client = client_name;
+  const protocol::Frame reply = call(protocol::MsgType::kHello, encode(req));
+  return protocol::decode_hello_reply(
+      expect(reply, protocol::MsgType::kHelloReply).payload);
+}
+
+protocol::DeltaAppliedReply Client::apply_delta(
+    const std::vector<demand::DeltaOp>& ops) {
+  protocol::ApplyDeltaRequest req;
+  req.ops = ops;
+  const protocol::Frame reply =
+      call(protocol::MsgType::kApplyDelta, encode(req));
+  return protocol::decode_delta_applied_reply(
+      expect(reply, protocol::MsgType::kDeltaApplied).payload);
+}
+
+protocol::ResizeReply Client::query_resize(double beamspread,
+                                           double oversub_cap) {
+  protocol::QueryResizeRequest req;
+  req.beamspread = beamspread;
+  req.oversub_cap = oversub_cap;
+  const protocol::Frame reply =
+      call(protocol::MsgType::kQueryResize, encode(req));
+  return protocol::decode_resize_reply(
+      expect(reply, protocol::MsgType::kResizeResult).payload);
+}
+
+protocol::AffordabilityReply Client::query_affordability(
+    const std::string& plan_name, double threshold) {
+  protocol::QueryAffordabilityRequest req;
+  req.plan_name = plan_name;
+  req.threshold = threshold;
+  const protocol::Frame reply =
+      call(protocol::MsgType::kQueryAffordability, encode(req));
+  return protocol::decode_affordability_reply(
+      expect(reply, protocol::MsgType::kAffordabilityResult).payload);
+}
+
+protocol::ServedFractionReply Client::query_served_fraction(double beamspread,
+                                                            double oversub) {
+  protocol::QueryServedFractionRequest req;
+  req.beamspread = beamspread;
+  req.oversub = oversub;
+  const protocol::Frame reply =
+      call(protocol::MsgType::kQueryServedFraction, encode(req));
+  return protocol::decode_served_fraction_reply(
+      expect(reply, protocol::MsgType::kServedFractionResult).payload);
+}
+
+protocol::StatsReply Client::stats() {
+  const protocol::Frame reply = call(protocol::MsgType::kStats, std::string());
+  return protocol::decode_stats_reply(
+      expect(reply, protocol::MsgType::kStatsReply).payload);
+}
+
+void Client::shutdown_server() {
+  const protocol::Frame reply =
+      call(protocol::MsgType::kShutdown, std::string());
+  (void)expect(reply, protocol::MsgType::kShutdownAck);
+}
+
+}  // namespace leodivide::serve

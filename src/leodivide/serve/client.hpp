@@ -1,0 +1,73 @@
+#pragma once
+// Blocking client for the LSRV analysis service: connect, send a request
+// frame, block until the reply frame arrives. One outstanding request at a
+// time (the protocol is strictly request/reply per connection), so the
+// client needs no threads and no internal queueing.
+//
+// Typed helpers wrap the raw call(): they encode the request, decode the
+// reply, and turn a kError reply into a thrown ServiceError so callers
+// handle failures as exceptions rather than by inspecting frame types.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "leodivide/demand/delta.hpp"
+#include "leodivide/serve/protocol.hpp"
+
+namespace leodivide::serve {
+
+/// The server answered with a kError frame (request-level failure), or the
+/// reply type did not match the request.
+class ServiceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port. Throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one frame and blocks for the next reply frame. Throws
+  /// std::runtime_error when the connection drops and ProtocolError when
+  /// the reply stream is malformed. Does NOT interpret kError replies —
+  /// the typed helpers below do.
+  [[nodiscard]] protocol::Frame call(protocol::MsgType type,
+                                     const std::string& payload);
+
+  // Typed helpers. Each throws ServiceError when the server answers with
+  // kError or an unexpected reply type.
+  [[nodiscard]] protocol::HelloReply hello(const std::string& client_name);
+  [[nodiscard]] protocol::DeltaAppliedReply apply_delta(
+      const std::vector<demand::DeltaOp>& ops);
+  [[nodiscard]] protocol::ResizeReply query_resize(double beamspread,
+                                                   double oversub_cap);
+  [[nodiscard]] protocol::AffordabilityReply query_affordability(
+      const std::string& plan_name, double threshold = 0.0);
+  [[nodiscard]] protocol::ServedFractionReply query_served_fraction(
+      double beamspread, double oversub);
+  [[nodiscard]] protocol::StatsReply stats();
+  /// Asks the server to shut down; returns once the ack arrives.
+  void shutdown_server();
+
+ private:
+  /// Validates that `frame` is `expected`, throwing ServiceError on kError
+  /// (with the server's message) or on any other type mismatch.
+  [[nodiscard]] static const protocol::Frame& expect(
+      const protocol::Frame& frame, protocol::MsgType expected);
+
+  int fd_ = -1;
+  protocol::FrameDecoder decoder_;
+};
+
+}  // namespace leodivide::serve

@@ -1,0 +1,272 @@
+#pragma once
+// LSRV — the analysis service's length-prefixed binary wire protocol.
+// Framing reuses the LDSNAP conventions (magic, endian canary, version,
+// chunked FNV-1a checksum, bounds-checked ByteReader) so one hardening
+// story covers both the at-rest and on-the-wire formats:
+//
+//   offset 0 : u32      frame length (header + body, excluding this field)
+//   offset 4 : char[4]  magic "LSRV"
+//   offset 8 : u16      endian marker 0xFEFF (shared with LDSNAP)
+//   offset 10: u16      protocol version (kProtocolVersion)
+//   offset 12: u64      chunked FNV-1a checksum of the body
+//   offset 20: body     u16 message type, u16 reserved (0), payload bytes
+//
+// The checksum covers the whole body — type field included — so a bit flip
+// anywhere past the header is detected, not dispatched. All integers are
+// little-endian; doubles travel as IEEE-754 bit patterns. Every malformed
+// input — truncation (handled by buffering), oversized length, bad magic,
+// byte-swapped canary, unknown version, checksum mismatch — surfaces as a
+// typed ProtocolError, never UB; a FrameDecoder fed random bytes must not
+// crash (tests/test_serve_protocol.cpp fuzzes exactly that under ASan).
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "leodivide/demand/delta.hpp"
+#include "leodivide/snapshot/format.hpp"
+
+namespace leodivide::serve::protocol {
+
+/// Current LSRV protocol version; like LDSNAP, readers reject every
+/// version they do not know.
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// The frame magic ("LSRV", no terminator).
+inline constexpr std::string_view kFrameMagic{"LSRV"};
+
+/// Fixed header bytes after the length prefix: magic + canary + version +
+/// checksum.
+inline constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 8;
+
+/// Minimum legal frame length (header + the body's type/reserved fields).
+inline constexpr std::uint32_t kMinFrameLen = kHeaderBytes + 4;
+
+/// Ceiling on one frame. Delta batches and stats replies are small; a
+/// length prefix beyond this is corruption (or an attack), not a message.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Typed error for every malformed frame or message payload.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Message types. Requests are low codes, replies have the top bit of the
+/// low byte set; kError answers any request the server cannot satisfy.
+enum class MsgType : std::uint16_t {
+  kHello = 1,
+  kApplyDelta = 2,
+  kQueryResize = 3,
+  kQueryAffordability = 4,
+  kQueryServedFraction = 5,
+  kStats = 6,
+  kShutdown = 7,
+
+  kHelloReply = 129,
+  kDeltaApplied = 130,
+  kResizeResult = 131,
+  kAffordabilityResult = 132,
+  kServedFractionResult = 133,
+  kStatsReply = 134,
+  kShutdownAck = 135,
+  kError = 255,
+};
+
+/// Human-readable message-type name ("hello", "apply_delta", ...).
+[[nodiscard]] std::string_view to_string(MsgType type) noexcept;
+
+/// One decoded frame. `type` carries the raw u16 — unknown values flow
+/// through the decoder (their checksum still verified) so the dispatcher
+/// can answer kError instead of dropping the connection.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+/// Renders one complete frame (length prefix + header + body).
+[[nodiscard]] std::string encode_frame(MsgType type, std::string_view payload);
+
+/// Incremental frame decoder over a byte stream. Feed whatever the socket
+/// produced; next() returns one decoded frame when complete bytes for it
+/// have arrived, std::nullopt when more input is needed, and throws
+/// ProtocolError as soon as a malformation is provable — an oversized or
+/// undersized length prefix, bad magic, byte-swapped canary, unknown
+/// version (all checked eagerly, before the full frame arrives), or a body
+/// checksum mismatch.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(std::string_view bytes);
+
+  /// Decodes the next complete frame, if buffered.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+  /// Drops all buffered bytes (e.g. after a protocol error reply).
+  void reset() noexcept {
+    buf_.clear();
+    pos_ = 0;
+  }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- messages --
+// Payload structs with exact encode/decode pairs. Decoders bounds-check
+// everything via snapshot::ByteReader and re-throw its SnapshotError as
+// ProtocolError; every decoder requires full payload consumption.
+
+struct HelloRequest {
+  std::string client;  ///< free-form client identification
+
+  friend bool operator==(const HelloRequest&, const HelloRequest&) = default;
+};
+
+struct HelloReply {
+  std::uint16_t protocol_version = kProtocolVersion;
+  std::string server;          ///< free-form server identification
+  std::uint64_t cells = 0;     ///< baseline profile cell count
+  std::uint64_t counties = 0;  ///< baseline county count
+  std::uint64_t regions = 0;   ///< incremental-engine region count
+  bool paranoid = false;       ///< server cross-checks every answer
+
+  friend bool operator==(const HelloReply&, const HelloReply&) = default;
+};
+
+struct ApplyDeltaRequest {
+  std::vector<demand::DeltaOp> ops;  ///< applied in order
+
+  friend bool operator==(const ApplyDeltaRequest&,
+                         const ApplyDeltaRequest&) = default;
+};
+
+struct DeltaAppliedReply {
+  std::uint64_t ops_applied = 0;
+  std::uint64_t dirty_regions = 0;   ///< regions dirtied by this batch
+  std::uint64_t cells_touched = 0;   ///< cells mutated or added
+  std::uint64_t journal_length = 0;  ///< total ops journaled since startup
+
+  friend bool operator==(const DeltaAppliedReply&,
+                         const DeltaAppliedReply&) = default;
+};
+
+struct QueryResizeRequest {
+  double beamspread = 1.0;
+  double oversub_cap = 1.0;
+
+  friend bool operator==(const QueryResizeRequest&,
+                         const QueryResizeRequest&) = default;
+};
+
+struct ResizeReply {
+  // Full-service sizing (P2: serve the peak cell everywhere).
+  double full_satellites = 0.0;
+  double full_binding_lat_deg = 0.0;
+  std::uint32_t full_beams = 0;
+  std::uint64_t full_cell_index = 0;
+  // Capped sizing at the requested oversubscription cap.
+  double capped_satellites = 0.0;
+  double capped_binding_lat_deg = 0.0;
+  std::uint32_t capped_beams = 0;
+  std::uint64_t capped_cell_index = 0;
+
+  friend bool operator==(const ResizeReply&, const ResizeReply&) = default;
+};
+
+struct QueryAffordabilityRequest {
+  std::string plan_name;
+  double threshold = 0.0;  ///< <= 0 means the server's default threshold
+
+  friend bool operator==(const QueryAffordabilityRequest&,
+                         const QueryAffordabilityRequest&) = default;
+};
+
+struct AffordabilityReply {
+  std::string plan_name;
+  double monthly_usd = 0.0;
+  double income_required_usd = 0.0;
+  double locations_unable = 0.0;
+  double fraction_unable = 0.0;
+
+  friend bool operator==(const AffordabilityReply&,
+                         const AffordabilityReply&) = default;
+};
+
+struct QueryServedFractionRequest {
+  double beamspread = 1.0;
+  double oversub = 1.0;
+
+  friend bool operator==(const QueryServedFractionRequest&,
+                         const QueryServedFractionRequest&) = default;
+};
+
+struct ServedFractionReply {
+  double cell_fraction = 0.0;
+  double location_fraction = 0.0;
+  std::uint64_t served_cells = 0;
+  std::uint64_t total_cells = 0;
+  std::uint64_t served_locations = 0;
+  std::uint64_t total_locations = 0;
+
+  friend bool operator==(const ServedFractionReply&,
+                         const ServedFractionReply&) = default;
+};
+
+struct StatsReply {
+  /// Name/value pairs in a server-chosen but deterministic order.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  friend bool operator==(const StatsReply&, const StatsReply&) = default;
+};
+
+struct ErrorReply {
+  std::string message;
+
+  friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
+};
+
+[[nodiscard]] std::string encode(const HelloRequest& m);
+[[nodiscard]] std::string encode(const HelloReply& m);
+[[nodiscard]] std::string encode(const ApplyDeltaRequest& m);
+[[nodiscard]] std::string encode(const DeltaAppliedReply& m);
+[[nodiscard]] std::string encode(const QueryResizeRequest& m);
+[[nodiscard]] std::string encode(const ResizeReply& m);
+[[nodiscard]] std::string encode(const QueryAffordabilityRequest& m);
+[[nodiscard]] std::string encode(const AffordabilityReply& m);
+[[nodiscard]] std::string encode(const QueryServedFractionRequest& m);
+[[nodiscard]] std::string encode(const ServedFractionReply& m);
+[[nodiscard]] std::string encode(const StatsReply& m);
+[[nodiscard]] std::string encode(const ErrorReply& m);
+
+[[nodiscard]] HelloRequest decode_hello_request(std::string_view payload);
+[[nodiscard]] HelloReply decode_hello_reply(std::string_view payload);
+[[nodiscard]] ApplyDeltaRequest decode_apply_delta_request(
+    std::string_view payload);
+[[nodiscard]] DeltaAppliedReply decode_delta_applied_reply(
+    std::string_view payload);
+[[nodiscard]] QueryResizeRequest decode_query_resize_request(
+    std::string_view payload);
+[[nodiscard]] ResizeReply decode_resize_reply(std::string_view payload);
+[[nodiscard]] QueryAffordabilityRequest decode_query_affordability_request(
+    std::string_view payload);
+[[nodiscard]] AffordabilityReply decode_affordability_reply(
+    std::string_view payload);
+[[nodiscard]] QueryServedFractionRequest decode_query_served_fraction_request(
+    std::string_view payload);
+[[nodiscard]] ServedFractionReply decode_served_fraction_reply(
+    std::string_view payload);
+[[nodiscard]] StatsReply decode_stats_reply(std::string_view payload);
+[[nodiscard]] ErrorReply decode_error_reply(std::string_view payload);
+
+}  // namespace leodivide::serve::protocol

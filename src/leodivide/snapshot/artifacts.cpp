@@ -497,4 +497,52 @@ event::EventTrace deserialize_event_trace(std::string_view file) {
   return out;
 }
 
+void write_delta_op(ByteWriter& w, const demand::DeltaOp& op) {
+  w.u8(static_cast<std::uint8_t>(op.kind));
+  w.f64(op.position.lat_deg);
+  w.f64(op.position.lon_deg);
+  w.u32(op.count);
+  w.u32(op.county_index);
+  w.str(op.plan_name);
+  w.f64(op.value);
+}
+
+demand::DeltaOp read_delta_op(ByteReader& r) {
+  demand::DeltaOp op;
+  const std::uint8_t kind = r.u8();
+  if (kind < static_cast<std::uint8_t>(demand::DeltaKind::kAddLocations) ||
+      kind > static_cast<std::uint8_t>(demand::DeltaKind::kSetCountyIncome)) {
+    throw SnapshotError("delta op: unknown kind code " + std::to_string(kind));
+  }
+  op.kind = static_cast<demand::DeltaKind>(kind);
+  op.position.lat_deg = r.f64();
+  op.position.lon_deg = r.f64();
+  op.count = r.u32();
+  op.county_index = r.u32();
+  op.plan_name = r.str();
+  op.value = r.f64();
+  return op;
+}
+
+std::string serialize(const std::vector<demand::DeltaOp>& journal) {
+  ByteWriter w;
+  w.u64(journal.size());
+  for (const demand::DeltaOp& op : journal) write_delta_op(w, op);
+  SnapshotWriter sw(ArtifactKind::kDeltaJournal);
+  sw.add_section("ops", std::move(w).take());
+  return std::move(sw).finish();
+}
+
+std::vector<demand::DeltaOp> deserialize_delta_journal(std::string_view file) {
+  const SnapshotReader reader =
+      parse_expecting(file, ArtifactKind::kDeltaJournal);
+  ByteReader r(reader.section("ops"));
+  const std::uint64_t n = r.u64();
+  std::vector<demand::DeltaOp> ops;
+  ops.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) ops.push_back(read_delta_op(r));
+  r.expect_exhausted("delta_journal ops section");
+  return ops;
+}
+
 }  // namespace leodivide::snapshot

@@ -1,11 +1,12 @@
 #pragma once
-// LDSNAP serializers for the five heavy pipeline artifacts:
+// LDSNAP serializers for the heavy pipeline artifacts:
 //
 //   demand::DemandDataset            (kLocations — expanded Location sets)
 //   demand::DemandProfile            (kProfile   — per-cell aggregates)
 //   core::AnalysisResults            (kAnalysis  — sizing/report results)
 //   std::vector<sim::EpochCoverage>  (kEpochs    — simulation summaries)
 //   event::EventTrace                (kEventTrace — event-driven run traces)
+//   std::vector<demand::DeltaOp>     (kDeltaJournal — serve/ delta journal)
 //
 // Round trips are exact: doubles travel as IEEE-754 bit patterns, so
 // deserialize(serialize(x)) == x bit-for-bit and a cached stage can replace
@@ -20,6 +21,7 @@
 
 #include "leodivide/core/scenario.hpp"
 #include "leodivide/demand/dataset.hpp"
+#include "leodivide/demand/delta.hpp"
 #include "leodivide/event/trace.hpp"
 #include "leodivide/sim/coverage.hpp"
 #include "leodivide/snapshot/format.hpp"
@@ -31,6 +33,7 @@ namespace leodivide::snapshot {
 [[nodiscard]] std::string serialize(const core::AnalysisResults& results);
 [[nodiscard]] std::string serialize(const std::vector<sim::EpochCoverage>& epochs);
 [[nodiscard]] std::string serialize(const event::EventTrace& trace);
+[[nodiscard]] std::string serialize(const std::vector<demand::DeltaOp>& journal);
 
 [[nodiscard]] demand::DemandDataset deserialize_dataset(std::string_view file);
 [[nodiscard]] demand::DemandProfile deserialize_profile(std::string_view file);
@@ -38,5 +41,14 @@ namespace leodivide::snapshot {
 [[nodiscard]] std::vector<sim::EpochCoverage> deserialize_epochs(
     std::string_view file);
 [[nodiscard]] event::EventTrace deserialize_event_trace(std::string_view file);
+[[nodiscard]] std::vector<demand::DeltaOp> deserialize_delta_journal(
+    std::string_view file);
+
+/// Wire codec for one DeltaOp. Shared between the kDeltaJournal artifact
+/// and the serve/ protocol's ApplyDelta request, so the two encodings can
+/// never drift apart. read_delta_op validates the kind code and throws
+/// SnapshotError on anything unknown.
+void write_delta_op(ByteWriter& w, const demand::DeltaOp& op);
+[[nodiscard]] demand::DeltaOp read_delta_op(ByteReader& r);
 
 }  // namespace leodivide::snapshot

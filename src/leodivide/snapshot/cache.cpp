@@ -1,5 +1,6 @@
 #include "leodivide/snapshot/cache.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -62,15 +63,38 @@ std::optional<std::string> StageCache::load(std::string_view stage,
 
 void StageCache::store(std::string_view stage, const Fingerprint& fp,
                        std::string_view blob) const {
+  if (store_disabled_.load(std::memory_order_relaxed)) {
+    store_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("snapshot.store_failures").add();
+    return;
+  }
   obs::Span span("snapshot.store");
   const std::string path = blob_path(stage, fp);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
+  std::string failure;
   if (ec) {
-    throw std::runtime_error("StageCache: cannot create stage dir for '" +
-                             path + "': " + ec.message());
+    failure = "cannot create stage dir for '" + path + "': " + ec.message();
+  } else {
+    try {
+      io::write_text_file(path, blob);
+    } catch (const std::exception& e) {
+      failure = e.what();
+    }
   }
-  io::write_text_file(path, blob);
+  if (!failure.empty()) {
+    // Degrade to recompute-without-store: warn once, count every skipped
+    // store, and keep serving loads (the directory may still be readable).
+    store_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::registry().counter("snapshot.store_failures").add();
+    if (!store_disabled_.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "leodivide: warning: snapshot cache '%s' is not writable "
+                   "(%s); continuing without storing\n",
+                   dir_.c_str(), failure.c_str());
+    }
+    return;
+  }
   obs::registry().counter("snapshot.store_bytes").add(blob.size());
 }
 

@@ -44,7 +44,12 @@ class StageCache {
   [[nodiscard]] std::optional<std::string> load(std::string_view stage,
                                                 const Fingerprint& fp) const;
 
-  /// Atomically stores a blob for (stage, fingerprint).
+  /// Atomically stores a blob for (stage, fingerprint). A cache directory
+  /// that exists but cannot be written (read-only mount, a stray file where
+  /// the stage directory should be) degrades to recompute-without-store:
+  /// the first failure prints one warning to stderr and disables further
+  /// stores for this cache; it never throws. This matches the corrupt-blob
+  /// philosophy — a broken cache costs recomputation, never the run.
   void store(std::string_view stage, const Fingerprint& fp,
              std::string_view blob) const;
 
@@ -82,6 +87,12 @@ class StageCache {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  /// Stores that failed (and were swallowed) since construction. Nonzero
+  /// means the cache has degraded to recompute-without-store.
+  [[nodiscard]] std::uint64_t store_failures() const noexcept {
+    return store_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Reclassifies the last load() hit as a miss (blob failed validation).
   void note_bad_blob() const noexcept;
@@ -89,6 +100,8 @@ class StageCache {
   std::string dir_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> store_failures_{0};
+  mutable std::atomic<bool> store_disabled_{false};
 };
 
 /// Process-global cache, for CLI/env wiring.

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "leodivide/core/scenario.hpp"
+#include "leodivide/demand/delta.hpp"
 #include "leodivide/demand/generator.hpp"
 #include "leodivide/event/engine.hpp"
 #include "leodivide/sim/simulation.hpp"
@@ -67,6 +68,13 @@ Fingerprint stage_fingerprint(std::string_view stage) {
   return fp;
 }
 
+Fingerprint substage_fingerprint(std::string_view stage,
+                                 std::string_view substage) {
+  Fingerprint fp = stage_fingerprint(stage);
+  fp.mix(substage);
+  return fp;
+}
+
 void mix(Fingerprint& fp, const demand::GeneratorConfig& config) {
   fp.mix_u64(config.seed)
       .mix_i64(config.resolution)
@@ -120,6 +128,16 @@ void mix(Fingerprint& fp, const event::EventConfig& config) {
   fp.mix_f64(config.window_s)
       .mix_f64(config.eval_slack)
       .mix_f64(config.guard_s);
+}
+
+void mix(Fingerprint& fp, const demand::DeltaOp& op) {
+  fp.mix_u64(static_cast<std::uint64_t>(op.kind))
+      .mix_f64(op.position.lat_deg)
+      .mix_f64(op.position.lon_deg)
+      .mix_u64(op.count)
+      .mix_u64(op.county_index)
+      .mix(op.plan_name)
+      .mix_f64(op.value);
 }
 
 }  // namespace leodivide::snapshot

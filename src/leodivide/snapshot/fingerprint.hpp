@@ -19,6 +19,7 @@
 
 namespace leodivide::demand {
 struct GeneratorConfig;
+struct DeltaOp;
 }
 namespace leodivide::core {
 struct SizingModel;
@@ -60,6 +61,14 @@ class Fingerprint {
 /// invalidates every cached blob at once.
 [[nodiscard]] Fingerprint stage_fingerprint(std::string_view stage);
 
+/// Sub-stage fingerprint: a stage fingerprint further scoped by a sub-stage
+/// name (e.g. one region of a per-region recompute). Serve/'s incremental
+/// engine keys its per-region partials with these so a region's cached
+/// artifact can never collide with another region's, or with the parent
+/// stage's whole-output blob.
+[[nodiscard]] Fingerprint substage_fingerprint(std::string_view stage,
+                                               std::string_view substage);
+
 /// Field-by-field config mixers (every field participates; extend these
 /// when a config grows a field, or stale cache blobs will hit).
 void mix(Fingerprint& fp, const demand::GeneratorConfig& config);
@@ -67,5 +76,6 @@ void mix(Fingerprint& fp, const core::SizingModel& model);
 void mix(Fingerprint& fp, const core::AnalysisConfig& config);
 void mix(Fingerprint& fp, const sim::SimulationConfig& config);
 void mix(Fingerprint& fp, const event::EventConfig& config);
+void mix(Fingerprint& fp, const demand::DeltaOp& op);
 
 }  // namespace leodivide::snapshot

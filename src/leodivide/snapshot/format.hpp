@@ -52,6 +52,8 @@ enum class ArtifactKind : std::uint16_t {
   kAnalysis = 3,   ///< core::AnalysisResults (sizing/affordability results)
   kEpochs = 4,     ///< std::vector<sim::EpochCoverage> (sim epoch summaries)
   kEventTrace = 5, ///< event::EventTrace (event-driven run: events+segments)
+  kDeltaJournal = 6,  ///< std::vector<demand::DeltaOp> (serve/ delta journal)
+  kServePartial = 7,  ///< serve/ per-region sub-stage partial (cache blobs)
 };
 
 /// Human-readable artifact-kind name ("locations", "profile", ...).

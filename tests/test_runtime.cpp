@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <optional>
 #include <sstream>
@@ -67,6 +68,80 @@ TEST(ParseThreadCount, RejectsOutOfRangeValues) {
   EXPECT_EQ(runtime::parse_thread_count(
                 std::to_string(runtime::kMaxThreads + 1)),
             std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-pool sizing (serve/ server, benches): env + CLI flag
+// ---------------------------------------------------------------------------
+
+TEST(WorkerCount, EnvOverridesFallback) {
+  ASSERT_EQ(setenv("LEODIVIDE_WORKERS", "6", 1), 0);
+  EXPECT_EQ(runtime::worker_count_from_env(2), 6U);
+  ASSERT_EQ(unsetenv("LEODIVIDE_WORKERS"), 0);
+  EXPECT_EQ(runtime::worker_count_from_env(2), 2U);
+}
+
+TEST(WorkerCount, MalformedEnvFallsBack) {
+  ASSERT_EQ(setenv("LEODIVIDE_WORKERS", "lots", 1), 0);
+  EXPECT_EQ(runtime::worker_count_from_env(3), 3U);
+  ASSERT_EQ(setenv("LEODIVIDE_WORKERS", "0", 1), 0);
+  EXPECT_EQ(runtime::worker_count_from_env(3), 3U);
+  ASSERT_EQ(unsetenv("LEODIVIDE_WORKERS"), 0);
+}
+
+TEST(ParseWorkersArg, ConsumesSeparateAndInlineValues) {
+  std::size_t workers = 0;
+  {
+    char a0[] = "prog", a1[] = "--workers", a2[] = "5";
+    char* argv[] = {a0, a1, a2};
+    int i = 1;
+    EXPECT_TRUE(runtime::parse_workers_arg(3, argv, i, workers));
+    EXPECT_EQ(workers, 5U);
+    EXPECT_EQ(i, 2) << "must advance past the value argument";
+  }
+  {
+    char a0[] = "prog", a1[] = "--workers=7";
+    char* argv[] = {a0, a1};
+    int i = 1;
+    EXPECT_TRUE(runtime::parse_workers_arg(2, argv, i, workers));
+    EXPECT_EQ(workers, 7U);
+    EXPECT_EQ(i, 1) << "inline value consumes only its own argv slot";
+  }
+}
+
+TEST(ParseWorkersArg, IgnoresOtherFlags) {
+  std::size_t workers = 42;
+  char a0[] = "prog", a1[] = "--threads";
+  char* argv[] = {a0, a1};
+  int i = 1;
+  EXPECT_FALSE(runtime::parse_workers_arg(2, argv, i, workers));
+  EXPECT_EQ(workers, 42U) << "non-matching flag must leave workers alone";
+  EXPECT_EQ(i, 1);
+}
+
+TEST(ParseWorkersArg, MissingOrInvalidValueThrows) {
+  std::size_t workers = 0;
+  {
+    char a0[] = "prog", a1[] = "--workers";
+    char* argv[] = {a0, a1};
+    int i = 1;
+    EXPECT_THROW((void)runtime::parse_workers_arg(2, argv, i, workers),
+                 std::runtime_error);
+  }
+  {
+    char a0[] = "prog", a1[] = "--workers", a2[] = "zero";
+    char* argv[] = {a0, a1, a2};
+    int i = 1;
+    EXPECT_THROW((void)runtime::parse_workers_arg(3, argv, i, workers),
+                 std::runtime_error);
+  }
+  {
+    char a0[] = "prog", a1[] = "--workers=";
+    char* argv[] = {a0, a1};
+    int i = 1;
+    EXPECT_THROW((void)runtime::parse_workers_arg(2, argv, i, workers),
+                 std::runtime_error);
+  }
 }
 
 // ---------------------------------------------------------------------------

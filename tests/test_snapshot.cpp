@@ -710,4 +710,121 @@ TEST(IndexedKernelCompat, TraceBlobMatchesPreIndexBuildByteForByte) {
   EXPECT_TRUE(snapshot::deserialize_epochs(blob) == trace);
 }
 
+// ------------------------------------------------- serve/ delta journal --
+
+std::vector<demand::DeltaOp> small_journal() {
+  std::vector<demand::DeltaOp> journal;
+  demand::DeltaOp add;
+  add.kind = demand::DeltaKind::kAddLocations;
+  add.position = {39.1, -75.4};
+  add.count = 37;
+  add.county_index = 1;
+  journal.push_back(add);
+  demand::DeltaOp remove = add;
+  remove.kind = demand::DeltaKind::kRemoveLocations;
+  remove.count = 12;
+  journal.push_back(remove);
+  demand::DeltaOp upgrade = add;
+  upgrade.kind = demand::DeltaKind::kUpgradeLocations;
+  upgrade.count = 3;
+  journal.push_back(upgrade);
+  demand::DeltaOp price;
+  price.kind = demand::DeltaKind::kSetPlanPrice;
+  price.plan_name = "Starlink Residential";  // spaces must survive the trip
+  price.value = 95.0;
+  journal.push_back(price);
+  demand::DeltaOp income;
+  income.kind = demand::DeltaKind::kSetCountyIncome;
+  income.county_index = 0;
+  income.value = 48213.5;
+  journal.push_back(income);
+  return journal;
+}
+
+TEST(Artifacts, DeltaJournalRoundTripExact) {
+  const std::vector<demand::DeltaOp> journal = small_journal();
+  const std::string blob = snapshot::serialize(journal);
+  const snapshot::SnapshotReader reader =
+      snapshot::SnapshotReader::parse(blob);
+  EXPECT_EQ(reader.kind(), snapshot::ArtifactKind::kDeltaJournal);
+  EXPECT_EQ(to_string(reader.kind()), "delta_journal");
+  EXPECT_EQ(snapshot::deserialize_delta_journal(blob), journal);
+}
+
+TEST(Artifacts, EmptyDeltaJournalRoundTrips) {
+  const std::string blob = snapshot::serialize(std::vector<demand::DeltaOp>{});
+  EXPECT_TRUE(snapshot::deserialize_delta_journal(blob).empty());
+}
+
+TEST(Adversarial, DeltaJournalEveryTruncationFailsTyped) {
+  const std::string blob = snapshot::serialize(small_journal());
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_THROW(
+        (void)snapshot::deserialize_delta_journal(blob.substr(0, len)),
+        snapshot::SnapshotError)
+        << "prefix length " << len << " parsed";
+  }
+}
+
+TEST(Adversarial, DeltaJournalUnknownKindRejected) {
+  // Container-valid journal whose single op carries kind byte 9: the
+  // checksums pass, so only read_delta_op's kind validation can refuse it.
+  snapshot::ByteWriter ops;
+  ops.u64(1);
+  ops.u8(9);  // no such DeltaKind
+  ops.f64(39.1);
+  ops.f64(-75.4);
+  ops.u32(5);
+  ops.u32(0);
+  ops.str("");
+  ops.f64(0.0);
+  snapshot::SnapshotWriter w(snapshot::ArtifactKind::kDeltaJournal);
+  w.add_section("ops", std::move(ops).take());
+  EXPECT_THROW(
+      (void)snapshot::deserialize_delta_journal(std::move(w).finish()),
+      snapshot::SnapshotError);
+}
+
+TEST_F(StageCacheTest, UnwritableDirDegradesToRecomputeWithOneWarning) {
+  // A stray regular file where the stage directory should be makes every
+  // store fail (the test runs as root, so a read-only directory would not).
+  // The cache must degrade to recompute-without-store: one stderr warning,
+  // every store counted as a failure, every get_or_compute still answering.
+  fs::create_directories(dir_);
+  io::write_text_file((dir_ / "stage").string(), "not a directory");
+
+  snapshot::StageCache cache(dir_.string());
+  snapshot::Fingerprint fp = snapshot::stage_fingerprint("stage");
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return small_profile();
+  };
+  auto ser = [](const demand::DemandProfile& p) {
+    return snapshot::serialize(p);
+  };
+  auto de = [](std::string_view blob) {
+    return snapshot::deserialize_profile(blob);
+  };
+
+  ::testing::internal::CaptureStderr();
+  const demand::DemandProfile first =
+      cache.get_or_compute("stage", fp, compute, ser, de);
+  const demand::DemandProfile second =
+      cache.get_or_compute("stage", fp, compute, ser, de);
+  const std::string warnings = ::testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(computes, 2) << "nothing was stored, so nothing can hit";
+  EXPECT_EQ(first.cells(), second.cells());
+  EXPECT_EQ(cache.store_failures(), 2U);
+  EXPECT_EQ(cache.hits(), 0U);
+  const std::string needle = "is not writable";
+  std::size_t count = 0;
+  for (std::size_t pos = warnings.find(needle); pos != std::string::npos;
+       pos = warnings.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1U) << "exactly one warning expected, got:\n" << warnings;
+}
+
 }  // namespace
