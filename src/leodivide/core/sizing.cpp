@@ -72,7 +72,8 @@ SizingResult size_with_cap(const demand::DemandProfile& profile,
   };
   const Shard reduced = runtime::map_reduce<Shard>(
       executor, 0, profile.cell_count(),
-      [&](Shard& shard, std::size_t lo, std::size_t hi, std::size_t) {
+      [&profile, cap_locs, &model, beamspread, oversub_cap](
+          Shard& shard, std::size_t lo, std::size_t hi, std::size_t) {
         for (std::size_t i = lo; i < hi; ++i) {
           const auto& cell = profile.cells()[i];
           const std::uint32_t served = std::min(cell.underserved, cap_locs);

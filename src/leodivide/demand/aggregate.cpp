@@ -36,7 +36,8 @@ DemandProfile aggregate(const DemandDataset& dataset, const hex::HexGrid& grid,
   const auto& locations = dataset.locations();
   const CellMap buckets = runtime::map_reduce<CellMap>(
       executor, 0, locations.size(),
-      [&](CellMap& shard, std::size_t lo, std::size_t hi, std::size_t) {
+      [&locations, &grid, resolution](
+          CellMap& shard, std::size_t lo, std::size_t hi, std::size_t) {
         for (std::size_t i = lo; i < hi; ++i) {
           const auto& loc = locations[i];
           if (!loc.underserved()) continue;

@@ -54,7 +54,8 @@ std::size_t nearest_free_cell(const hex::HexGrid& grid,
   };
   const Best best = runtime::map_reduce<Best>(
       executor, 0, region.size(),
-      [&](Best& shard, std::size_t lo, std::size_t hi, std::size_t) {
+      [&grid, &region, &taken, &target](
+          Best& shard, std::size_t lo, std::size_t hi, std::size_t) {
         for (std::size_t i = lo; i < hi; ++i) {
           if (taken[i]) continue;
           const double d = geo::distance_km(grid.center_of(region[i]), target);
@@ -310,7 +311,9 @@ DemandDataset SyntheticGenerator::expand_locations(
 
   runtime::parallel_for_each(
       executor, 0, cells.size(),
-      [&](std::size_t ci) {
+      // leolint:allow(parallel-capture): offset is read-only here; each cell writes only its own disjoint locations slice
+      [this, &cells, &offset, &locations, &grid, circumradius](
+          std::size_t ci) {
         const auto& cell = cells[ci];
         // Split RNG stream per cell: draws depend only on (seed, cell
         // index), never on scheduling.

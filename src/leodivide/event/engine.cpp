@@ -115,7 +115,8 @@ void EventSimulation::run_trace(runtime::Executor& executor, EventTrace& out) {
     // inline (the exact serial code path, and free of the std::function
     // indirection run_tasks needs — which keeps the serial steady state
     // allocation-free).
-    const auto solve_chunk = [&](std::size_t chunk) {
+    const auto solve_chunk = [this, n_cells, chunks, &cells,
+                              duration](std::size_t chunk) {
       const runtime::ChunkRange r =
           runtime::chunk_range(0, n_cells, chunks, chunk);
       std::vector<orbit::Crossing>& found = ws_.crossings[chunk];

@@ -47,7 +47,9 @@ std::vector<CellId> scan(
       static_cast<std::size_t>(static_cast<std::int64_t>(q_hi) - q_lo + 1);
   auto cells = runtime::map_reduce<std::vector<CellId>>(
       executor, 0, columns,
-      [&](std::vector<CellId>& shard, std::size_t lo, std::size_t hi,
+      // leolint:allow(parallel-capture): inside is a const std::function& parameter — read-only; the textual const scanner cannot see through its parenthesized signature
+      [q_lo, r_lo, r_hi, resolution, &grid, &inside](
+          std::vector<CellId>& shard, std::size_t lo, std::size_t hi,
           std::size_t) {
         for (std::size_t c = lo; c < hi; ++c) {
           const auto q = static_cast<std::int32_t>(q_lo + static_cast<std::int64_t>(c));

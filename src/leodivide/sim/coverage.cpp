@@ -45,9 +45,12 @@ std::vector<EpochCoverage> summarize_epochs(
         "summarize_epochs: schedules/times length mismatch");
   }
   std::vector<EpochCoverage> trace(schedules.size());
-  runtime::parallel_for_each(executor, 0, schedules.size(), [&](std::size_t e) {
-    trace[e] = summarize_epoch(schedules[e], cells_total, times[e]);
-  });
+  runtime::parallel_for_each(
+      executor, 0, schedules.size(),
+      // leolint:allow(parallel-capture): each iteration writes only its own trace[e] slot
+      [&trace, &schedules, cells_total, &times](std::size_t e) {
+        trace[e] = summarize_epoch(schedules[e], cells_total, times[e]);
+      });
   return trace;
 }
 

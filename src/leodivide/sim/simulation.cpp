@@ -32,7 +32,9 @@ std::vector<EpochCoverage> Simulation::run(
   // computed independently and writes only its own trace slot, so the body
   // is range-oblivious and the trace is identical for every thread count.
   runtime::parallel_for(
-      executor, 0, clock.epochs(), [&](std::size_t lo, std::size_t hi) {
+      executor, 0, clock.epochs(),
+      // leolint:allow(parallel-capture): each epoch writes only its own trace slot
+      [this, &trace, &clock](std::size_t lo, std::size_t hi) {
         ScheduleWorkspace workspace;
         ScheduleResult schedule;
         for (std::size_t e = lo; e < hi; ++e) {

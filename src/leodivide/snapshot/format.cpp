@@ -47,7 +47,8 @@ std::uint64_t chunked_checksum(std::string_view bytes,
   const std::size_t chunks = (bytes.size() + kChecksumChunk - 1) /
                              kChecksumChunk;
   std::vector<std::uint64_t> digests(chunks);
-  executor.run_tasks(chunks, [&](std::size_t i) {
+  // leolint:allow(parallel-capture): each task writes only its own digests[i] slot
+  executor.run_tasks(chunks, [bytes, &digests](std::size_t i) {
     const std::size_t lo = i * kChecksumChunk;
     digests[i] = fnv1a64(bytes.substr(lo, kChecksumChunk));
   });

@@ -19,8 +19,10 @@ bench kinds work without touching this script.  Absolute milliseconds are
 compared against the recorded baseline informationally only (CI runners and
 dev machines differ); the speedup ratio is what must hold.
 
-Exits nonzero if any baseline case is missing from the output or fails its
-speedup gate.
+Exits nonzero if any baseline case is missing from the output, fails its
+speedup gate, or if a baseline is malformed (no ``bench``/``min_speedup``,
+or an empty ``cases`` list — a baseline that gates nothing is a bug, not a
+pass).
 """
 
 import json
@@ -59,11 +61,27 @@ def parse_harness_lines(path):
     return results
 
 
-def check_baseline(baseline, results):
-    """Gate one baseline file's cases; returns the number of failures."""
+class BaselineError(Exception):
+    """A baseline file that cannot gate anything (distinct from a miss)."""
+
+
+def check_baseline(path, baseline, results):
+    """Gate one baseline file's cases; returns (gate_failures, missing)."""
+    for field in ("bench", "min_speedup", "cases"):
+        if field not in baseline:
+            raise BaselineError(f"{path}: baseline has no '{field}' field")
     bench = baseline["bench"]
     default_min = float(baseline["min_speedup"])
+    if not baseline["cases"]:
+        # An empty case list would "pass" while gating nothing.
+        raise BaselineError(f"{path}: baseline '{bench}' declares no cases")
+    if not any(b == bench for b, _ in results):
+        print(
+            f"FAIL: {path}: no harness lines for bench '{bench}' "
+            "(bench did not run, or the name is wrong)"
+        )
     failures = 0
+    missing = 0
     for case in baseline["cases"]:
         key = case_key(case)
         rec = results.get((bench, key))
@@ -71,7 +89,7 @@ def check_baseline(baseline, results):
         min_speedup = float(case.get("min_speedup", default_min))
         if rec is None:
             print(f"FAIL: {label}: missing from harness output")
-            failures += 1
+            missing += 1
             continue
 
         speedup = float(rec["speedup"])
@@ -92,7 +110,7 @@ def check_baseline(baseline, results):
                 )
         if not ok:
             failures += 1
-    return failures
+    return failures, missing
 
 
 def main(argv):
@@ -107,15 +125,29 @@ def main(argv):
         return 1
 
     failures = 0
+    missing = 0
     checked = 0
     for baseline_path in baseline_paths:
-        with open(baseline_path, encoding="utf-8") as f:
-            baseline = json.load(f)
-        failures += check_baseline(baseline, results)
+        try:
+            with open(baseline_path, encoding="utf-8") as f:
+                baseline = json.load(f)
+            if not isinstance(baseline, dict):
+                raise BaselineError(f"{baseline_path}: baseline is not an object")
+            case_failures, case_missing = check_baseline(
+                baseline_path, baseline, results
+            )
+        except (OSError, json.JSONDecodeError, BaselineError) as err:
+            print(f"FAIL: unusable baseline: {err}", file=sys.stderr)
+            return 2
+        failures += case_failures
+        missing += case_missing
         checked += len(baseline["cases"])
 
-    if failures:
-        print(f"FAIL: {failures} case(s) below their speedup gate")
+    if failures or missing:
+        print(
+            f"FAIL: {failures} case(s) below their speedup gate, "
+            f"{missing} case(s) missing from harness output"
+        )
         return 1
     print(f"ok: all {checked} case(s) meet their speedup gates")
     return 0

@@ -1,0 +1,578 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace leolint {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+// ----------------------------------------------------------- R9 plumbing --
+
+/// Resolves a field's declarator type text to an inventoried struct.
+/// Returns nullptr for templates, std:: types, and anything not in the
+/// model — the analyzer treats those as opaque.
+const StructDef* find_struct(const ProjectModel& model, std::string type,
+                             const std::string& fallback_module) {
+  std::string flat;
+  for (char c : type) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) flat.push_back(c);
+  }
+  if (flat.empty() || flat.find('<') != std::string::npos) return nullptr;
+  const std::string lp = "leodivide::";
+  if (flat.compare(0, lp.size(), lp) == 0) flat = flat.substr(lp.size());
+  // Drop leading cv-qualifier if the declarator carried one.
+  const std::string cq = "const";
+  if (flat.compare(0, cq.size(), cq) == 0 && flat.size() > cq.size()) {
+    flat = flat.substr(cq.size());
+  }
+  if (flat.find("::") == std::string::npos) {
+    flat = fallback_module + "::" + flat;
+  }
+  const auto it = model.structs.find(flat);
+  return it == model.structs.end() ? nullptr : &it->second;
+}
+
+std::string module_of_qualified(const std::string& qualified) {
+  const std::size_t at = qualified.find("::");
+  return at == std::string::npos ? std::string() : qualified.substr(0, at);
+}
+
+enum class FieldState { kMixed, kOpaquePartial, kExempt, kGap };
+
+struct FieldStatus {
+  std::string path;  ///< dotted path from the mixed struct's root
+  FieldState state = FieldState::kGap;
+  const Exemption* exemption = nullptr;
+};
+
+/// Walks the field tree of `def` under `prefix` and classifies every leaf
+/// against what the mixer body actually touches.
+void classify_fields(const ProjectModel& model, const MixerSite& mixer,
+                     const StructDef& def, const std::string& prefix,
+                     const std::map<std::string, const Exemption*>& exempt,
+                     std::set<std::string>& visiting,
+                     std::vector<FieldStatus>& out) {
+  const bool whole_object = mixer.full_paths.count("") != 0;
+  for (const StructField& field : def.fields) {
+    const std::string path =
+        prefix.empty() ? field.name : prefix + "." + field.name;
+    FieldStatus status;
+    status.path = path;
+    if (whole_object || mixer.full_paths.count(path) != 0) {
+      status.state = FieldState::kMixed;
+      out.push_back(std::move(status));
+      continue;
+    }
+    const std::string deep = path + ".";
+    const bool partial = std::any_of(
+        mixer.full_paths.begin(), mixer.full_paths.end(),
+        [&](const std::string& p) { return p.compare(0, deep.size(), deep) == 0; });
+    if (partial) {
+      const StructDef* sub =
+          find_struct(model, field.type, module_of_qualified(def.qualified));
+      if (sub != nullptr && visiting.count(sub->qualified) == 0) {
+        // The mixer reaches into this member: audit the nested struct's
+        // fields one by one (catches "WalkerShell grew a field but the
+        // SimulationConfig mixer was never updated").
+        visiting.insert(sub->qualified);
+        classify_fields(model, mixer, *sub, path, exempt, visiting, out);
+        visiting.erase(sub->qualified);
+      } else {
+        // Partially referenced but opaque (std:: type, template, or a
+        // struct outside the scan) — trust the reference.
+        status.state = FieldState::kOpaquePartial;
+        out.push_back(std::move(status));
+      }
+      continue;
+    }
+    const auto ex = exempt.find(mixer.qualified_type + "::" + path);
+    if (ex != exempt.end()) {
+      status.state = FieldState::kExempt;
+      status.exemption = ex->second;
+    } else {
+      status.state = FieldState::kGap;
+    }
+    out.push_back(std::move(status));
+  }
+}
+
+std::vector<FieldStatus> mixer_field_statuses(
+    const ProjectModel& model, const MixerSite& mixer,
+    const ExemptionManifest& exemptions) {
+  std::vector<FieldStatus> out;
+  const auto it = model.structs.find(mixer.qualified_type);
+  if (it == model.structs.end()) return out;
+  std::map<std::string, const Exemption*> exempt;
+  for (const Exemption& e : exemptions.entries) {
+    exempt.emplace(e.struct_qualified + "::" + e.field_path, &e);
+  }
+  std::set<std::string> visiting{mixer.qualified_type};
+  classify_fields(model, mixer, it->second, "", exempt, visiting, out);
+  return out;
+}
+
+/// True if `entry` names a field (or nested field path) that exists in the
+/// model's struct inventory — the liveness test behind stale-exemption.
+bool exemption_resolves(const ProjectModel& model, const Exemption& entry) {
+  const auto it = model.structs.find(entry.struct_qualified);
+  if (it == model.structs.end()) return false;
+  const StructDef* def = &it->second;
+  std::string path = entry.field_path;
+  while (true) {
+    const std::size_t dot = path.find('.');
+    const std::string head = dot == std::string::npos ? path
+                                                      : path.substr(0, dot);
+    const StructField* found = nullptr;
+    for (const StructField& f : def->fields) {
+      if (f.name == head) {
+        found = &f;
+        break;
+      }
+    }
+    if (found == nullptr) return false;
+    if (dot == std::string::npos) return true;
+    def = find_struct(model, found->type,
+                      module_of_qualified(def->qualified));
+    if (def == nullptr) return false;
+    path = path.substr(dot + 1);
+  }
+}
+
+// ----------------------------------------------------------- R8 plumbing --
+
+/// Strongly connected components of the module graph (iterative DFS over
+/// a handful of modules; order is deterministic because inputs are maps).
+std::vector<std::vector<std::string>> sccs(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::vector<std::string> order;
+  std::set<std::string> seen;
+  std::function<void(const std::string&)> dfs1 = [&](const std::string& u) {
+    seen.insert(u);
+    const auto it = adj.find(u);
+    if (it != adj.end()) {
+      for (const std::string& v : it->second) {
+        if (seen.count(v) == 0 && adj.count(v) != 0) dfs1(v);
+      }
+    }
+    order.push_back(u);
+  };
+  for (const auto& [u, unused] : adj) {
+    if (seen.count(u) == 0) dfs1(u);
+  }
+
+  std::map<std::string, std::set<std::string>> rev;
+  for (const auto& [u, vs] : adj) {
+    for (const std::string& v : vs) {
+      if (adj.count(v) != 0) rev[v].insert(u);
+    }
+  }
+  std::vector<std::vector<std::string>> components;
+  std::set<std::string> assigned;
+  std::function<void(const std::string&, std::vector<std::string>&)> dfs2 =
+      [&](const std::string& u, std::vector<std::string>& comp) {
+        assigned.insert(u);
+        comp.push_back(u);
+        const auto it = rev.find(u);
+        if (it != rev.end()) {
+          for (const std::string& v : it->second) {
+            if (assigned.count(v) == 0) dfs2(v, comp);
+          }
+        }
+      };
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (assigned.count(*it) == 0) {
+      std::vector<std::string> comp;
+      dfs2(*it, comp);
+      std::sort(comp.begin(), comp.end());
+      components.push_back(std::move(comp));
+    }
+  }
+  return components;
+}
+
+bool waived(const ProjectModel& model, const std::string& file,
+            std::size_t line, const std::string& rule) {
+  const auto it = model.annotations.find(file);
+  return it != model.annotations.end() && line > 0 &&
+         it->second.allows(line - 1, rule);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- layers --
+
+Layers parse_layers(const std::string& text) {
+  Layers layers;
+  const std::vector<std::string> lines = split_lines(text);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    std::string line = lines[li];
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::string kw = "layer";
+    if (line.compare(0, kw.size(), kw) != 0) {
+      throw std::runtime_error("layers.txt:" + std::to_string(li + 1) +
+                               ": expected 'layer <name>: <module>...'");
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("layers.txt:" + std::to_string(li + 1) +
+                               ": missing ':' after layer name");
+    }
+    const std::string name = trim(line.substr(kw.size(), colon - kw.size()));
+    if (name.empty()) {
+      throw std::runtime_error("layers.txt:" + std::to_string(li + 1) +
+                               ": empty layer name");
+    }
+    const std::size_t index = layers.names.size();
+    layers.names.push_back(name);
+    std::istringstream mods(line.substr(colon + 1));
+    std::string mod;
+    while (mods >> mod) {
+      if (!layers.module_layer.emplace(mod, index).second) {
+        throw std::runtime_error("layers.txt:" + std::to_string(li + 1) +
+                                 ": module '" + mod +
+                                 "' already assigned to a layer");
+      }
+    }
+  }
+  if (layers.names.empty()) {
+    throw std::runtime_error("layers.txt declares no layers");
+  }
+  return layers;
+}
+
+// ------------------------------------------------------------ exemptions --
+
+ExemptionManifest parse_exemptions(const std::string& path,
+                                   const std::string& text) {
+  ExemptionManifest manifest;
+  manifest.file = path;
+  const std::vector<std::string> lines = split_lines(text);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    std::string line = lines[li];
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    // The key/justification separator is the first ':' that is not part
+    // of a '::' qualifier.
+    std::size_t sep = std::string::npos;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != ':') continue;
+      const bool dbl = (i + 1 < line.size() && line[i + 1] == ':') ||
+                       (i > 0 && line[i - 1] == ':');
+      if (!dbl) {
+        sep = i;
+        break;
+      }
+    }
+    if (sep == std::string::npos) {
+      manifest.errors.emplace_back(
+          li + 1,
+          "exemption missing justification: write "
+          "'ns::Struct::field: why this field is deliberately "
+          "unfingerprinted'");
+      continue;
+    }
+    const std::string key = trim(line.substr(0, sep));
+    const std::string justification = trim(line.substr(sep + 1));
+    if (justification.empty()) {
+      manifest.errors.emplace_back(
+          li + 1, "exemption has an empty justification for '" + key + "'");
+      continue;
+    }
+    const std::size_t last = key.rfind("::");
+    if (last == std::string::npos || last == 0 ||
+        key.find("::") == last) {
+      manifest.errors.emplace_back(
+          li + 1, "malformed exemption key '" + key +
+                      "': expected ns::Struct::field[.subfield]");
+      continue;
+    }
+    Exemption entry;
+    entry.struct_qualified = key.substr(0, last);
+    entry.field_path = key.substr(last + 2);
+    entry.justification = justification;
+    entry.line = li + 1;
+    if (entry.field_path.empty()) {
+      manifest.errors.emplace_back(li + 1, "exemption key '" + key +
+                                               "' names no field");
+      continue;
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+// ------------------------------------------------------------ rule runs --
+
+std::vector<Finding> run_project_rules(const ProjectModel& model,
+                                       const Layers& layers,
+                                       const ExemptionManifest& exemptions) {
+  std::vector<Finding> findings;
+  auto report = [&](std::string file, std::size_t line, std::string rule,
+                    std::string msg) {
+    findings.push_back(
+        Finding{std::move(file), line, std::move(rule), std::move(msg)});
+  };
+
+  // ---- R8: module layering over the include graph. ----
+  std::set<std::string> unknown_reported;
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::pair<std::string, std::string>, const IncludeEdge*>
+      first_edge;
+  for (const IncludeEdge& edge : model.includes) {
+    if (edge.from_module.empty()) continue;  // outside the module tree
+    const auto from = layers.module_layer.find(edge.from_module);
+    const auto to = layers.module_layer.find(edge.to_module);
+    if (from == layers.module_layer.end()) {
+      if (unknown_reported.insert(edge.from_module).second) {
+        report(edge.file, edge.line, "layer-unknown",
+               "module '" + edge.from_module +
+                   "' is not assigned to any layer in layers.txt — every "
+                   "module must take a position in the architecture");
+      }
+      continue;
+    }
+    if (to == layers.module_layer.end()) {
+      if (unknown_reported.insert(edge.to_module).second) {
+        report(edge.file, edge.line, "layer-unknown",
+               "included module '" + edge.to_module +
+                   "' is not assigned to any layer in layers.txt");
+      }
+      continue;
+    }
+    if (edge.from_module == edge.to_module) continue;
+    adj[edge.from_module].insert(edge.to_module);
+    adj.emplace(edge.to_module, std::set<std::string>{});
+    first_edge.emplace(std::make_pair(edge.from_module, edge.to_module),
+                       &edge);
+    if (from->second < to->second &&
+        !waived(model, edge.file, edge.line, "layer-violation")) {
+      report(edge.file, edge.line, "layer-violation",
+             "layering back-edge: module '" + edge.from_module + "' (layer " +
+                 layers.names[from->second] + ") must not include '" +
+                 edge.target + "' from higher layer '" +
+                 layers.names[to->second] + "'");
+    }
+  }
+  for (const std::vector<std::string>& comp : sccs(adj)) {
+    if (comp.size() < 2) continue;
+    std::string members = comp[0];
+    for (std::size_t i = 1; i < comp.size(); ++i) members += ", " + comp[i];
+    const std::set<std::string> in_comp(comp.begin(), comp.end());
+    for (const auto& [pair, edge] : first_edge) {
+      if (in_comp.count(pair.first) != 0 && in_comp.count(pair.second) != 0) {
+        report(edge->file, edge->line, "layer-cycle",
+               "module include cycle {" + members + "}: this edge '" +
+                   pair.first + "' -> '" + pair.second +
+                   "' participates in the cycle");
+      }
+    }
+  }
+
+  // ---- R9: fingerprint coverage. ----
+  for (const MixerSite& mixer : model.mixers) {
+    for (const FieldStatus& status :
+         mixer_field_statuses(model, mixer, exemptions)) {
+      if (status.state != FieldState::kGap) continue;
+      if (waived(model, mixer.file, mixer.line, "fingerprint-gap")) continue;
+      report(mixer.file, mixer.line, "fingerprint-gap",
+             "field '" + mixer.qualified_type + "::" + status.path +
+                 "' is never mixed into the fingerprint — a config change "
+                 "there would hit stale cache blobs; mix it or add a "
+                 "justified entry to the exemption manifest");
+    }
+  }
+  for (const Exemption& entry : exemptions.entries) {
+    if (!exemption_resolves(model, entry)) {
+      report(exemptions.file, entry.line, "stale-exemption",
+             "exemption '" + entry.struct_qualified + "::" +
+                 entry.field_path +
+                 "' matches no field in the project — remove or fix it");
+    }
+  }
+  for (const auto& [line, error] : exemptions.errors) {
+    report(exemptions.file, line, "bad-exemption", error);
+  }
+
+  // ---- R10: parallel-capture safety. ----
+  for (const ParallelSite& site : model.parallel_sites) {
+    if (waived(model, site.file, site.line, "parallel-capture")) continue;
+    const auto consts = model.const_names.find(site.file);
+    for (const Capture& cap : site.captures) {
+      if (cap.kind == Capture::Kind::kDefaultRef) {
+        report(site.file, site.line, "parallel-capture",
+               "default by-reference capture '[&]' in a lambda passed to '" +
+                   site.callee +
+                   "' — name every capture so shared mutable state is "
+                   "auditable, or waive with a justification");
+      } else if (cap.kind == Capture::Kind::kByRef &&
+                 (consts == model.const_names.end() ||
+                  consts->second.count(cap.name) == 0)) {
+        report(site.file, site.line, "parallel-capture",
+               "by-reference capture '&" + cap.name +
+                   "' of a non-const variable in a lambda passed to '" +
+                   site.callee +
+                   "' — capture by value, declare it const, or waive with "
+                   "a justification for why concurrent mutation is safe");
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+// ------------------------------------------------------------------ dot --
+
+std::string to_dot(const ProjectModel& model, const Layers& layers) {
+  std::set<std::pair<std::string, std::string>> edges;
+  std::set<std::string> modules;
+  for (const IncludeEdge& edge : model.includes) {
+    if (edge.from_module.empty() || edge.from_module == edge.to_module) {
+      continue;
+    }
+    edges.emplace(edge.from_module, edge.to_module);
+    modules.insert(edge.from_module);
+    modules.insert(edge.to_module);
+  }
+  for (const auto& [mod, unused] : layers.module_layer) modules.insert(mod);
+
+  std::ostringstream out;
+  out << "digraph leodivide_modules {\n"
+      << "  rankdir = \"BT\";\n"
+      << "  node [shape = box, fontname = \"monospace\"];\n";
+  for (std::size_t i = 0; i < layers.names.size(); ++i) {
+    out << "  subgraph cluster_" << i << " {\n"
+        << "    label = \"" << layers.names[i] << "\";\n";
+    for (const std::string& mod : modules) {
+      const auto it = layers.module_layer.find(mod);
+      if (it != layers.module_layer.end() && it->second == i) {
+        out << "    \"" << mod << "\";\n";
+      }
+    }
+    out << "  }\n";
+  }
+  bool any_unlayered = false;
+  for (const std::string& mod : modules) {
+    if (layers.module_layer.count(mod) == 0) {
+      if (!any_unlayered) {
+        out << "  subgraph cluster_unlayered {\n"
+            << "    label = \"UNLAYERED\";\n    color = red;\n";
+        any_unlayered = true;
+      }
+      out << "    \"" << mod << "\";\n";
+    }
+  }
+  if (any_unlayered) out << "  }\n";
+  for (const auto& [from, to] : edges) {
+    const auto fi = layers.module_layer.find(from);
+    const auto ti = layers.module_layer.find(to);
+    const bool back = fi != layers.module_layer.end() &&
+                      ti != layers.module_layer.end() &&
+                      fi->second < ti->second;
+    out << "  \"" << from << "\" -> \"" << to << "\"";
+    if (back) out << " [color = red, penwidth = 2]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+// --------------------------------------------------------------- report --
+
+std::string coverage_report(const ProjectModel& model,
+                            const ExemptionManifest& exemptions) {
+  std::ostringstream out;
+  out << "# leolint fingerprint coverage (R9)\n";
+  std::size_t total = 0;
+  std::size_t mixed = 0;
+  std::size_t exempt = 0;
+  std::size_t gaps = 0;
+
+  std::vector<const MixerSite*> mixers;
+  for (const MixerSite& m : model.mixers) mixers.push_back(&m);
+  std::sort(mixers.begin(), mixers.end(),
+            [](const MixerSite* a, const MixerSite* b) {
+              return std::tie(a->qualified_type, a->file, a->line) <
+                     std::tie(b->qualified_type, b->file, b->line);
+            });
+
+  for (const MixerSite* mixer : mixers) {
+    out << "\n" << mixer->qualified_type << " (mixer at " << mixer->file
+        << ":" << mixer->line << ")\n";
+    if (model.structs.count(mixer->qualified_type) == 0) {
+      out << "  UNRESOLVED: struct definition not found in the scanned "
+             "tree\n";
+      continue;
+    }
+    for (const FieldStatus& status :
+         mixer_field_statuses(model, *mixer, exemptions)) {
+      ++total;
+      out << "  " << status.path;
+      for (std::size_t pad = status.path.size(); pad < 32; ++pad) out << ' ';
+      switch (status.state) {
+        case FieldState::kMixed:
+          ++mixed;
+          out << " mixed\n";
+          break;
+        case FieldState::kOpaquePartial:
+          ++mixed;
+          out << " mixed (partial, opaque member type)\n";
+          break;
+        case FieldState::kExempt:
+          ++exempt;
+          out << " exempt: " << status.exemption->justification << "\n";
+          break;
+        case FieldState::kGap:
+          ++gaps;
+          out << " GAP\n";
+          break;
+      }
+    }
+  }
+  out << "\nsummary: " << mixers.size() << " mixers, " << total
+      << " fields, " << mixed << " mixed, " << exempt << " exempt, " << gaps
+      << " gaps\n";
+  return out.str();
+}
+
+}  // namespace leolint

@@ -1,0 +1,89 @@
+#pragma once
+// leolint phase 2 — the whole-program rule families over a ProjectModel:
+//
+//   R8  layer-cycle / layer-violation / layer-unknown
+//       The module include graph must respect the checked-in layering
+//       (layers.txt): a module may include modules in its own or lower
+//       layers, never higher ones, and the whole module graph must be
+//       acyclic. Modules absent from layers.txt are themselves findings —
+//       every module must take a position in the architecture.
+//
+//   R9  fingerprint-gap / stale-exemption
+//       Every field of every struct consumed by a `mix(Fingerprint&,
+//       const T&)` overload must either be mixed into the fingerprint
+//       (directly, through a nested field path, or via a method call that
+//       consumes the member whole) or carry a justified entry in the
+//       exemption manifest. Manifest entries that match no existing field
+//       are reported as stale, so the manifest can never rot.
+//
+//   R10 parallel-capture
+//       Lambdas handed to runtime::parallel_for / parallel_for_each /
+//       map_reduce / run_tasks must not use a default by-reference
+//       capture, and must not capture non-const variables by reference —
+//       unless the site carries a leolint:allow(parallel-capture) waiver
+//       justifying why the shared mutation is safe (e.g. disjoint writes).
+//
+// All findings reuse the phase-1 Finding shape and waiver machinery, so
+// CI greps one format and annotations work identically in both phases.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "project.hpp"
+
+namespace leolint {
+
+/// The checked-in module layering (tools/leolint/layers.txt). Layers are
+/// ordered bottom-up: a module may depend on its own layer or any earlier
+/// one.
+struct Layers {
+  std::vector<std::string> names;                   ///< bottom-up order
+  std::map<std::string, std::size_t> module_layer;  ///< module -> index
+};
+
+/// Parses layers.txt text: `layer <name>: <module>...` lines, '#'
+/// comments and blank lines. Throws std::runtime_error on malformed lines
+/// or modules claimed by two layers.
+[[nodiscard]] Layers parse_layers(const std::string& text);
+
+/// One justified non-fingerprinted field.
+struct Exemption {
+  std::string struct_qualified;  ///< e.g. "sim::SimulationConfig"
+  std::string field_path;        ///< e.g. "engine" or "shell.phasing"
+  std::string justification;
+  std::size_t line = 0;
+};
+
+struct ExemptionManifest {
+  std::string file;  ///< for findings on the manifest itself
+  std::vector<Exemption> entries;
+  /// Malformed lines: (line, error). Reported as `bad-exemption`.
+  std::vector<std::pair<std::size_t, std::string>> errors;
+};
+
+/// Parses the exemption manifest: one `ns::Struct::field.path:
+/// justification` entry per line, '#' comments and blank lines. Entries
+/// with no justification text land in `errors` rather than `entries`.
+[[nodiscard]] ExemptionManifest parse_exemptions(const std::string& path,
+                                                 const std::string& text);
+
+/// Runs R8–R10 and returns findings sorted by (file, line, rule), with
+/// annotation waivers already applied.
+[[nodiscard]] std::vector<Finding> run_project_rules(
+    const ProjectModel& model, const Layers& layers,
+    const ExemptionManifest& exemptions);
+
+/// Graphviz DOT of the module include graph, clustered by layer, with
+/// back-edges (violations) highlighted. Deterministic output.
+[[nodiscard]] std::string to_dot(const ProjectModel& model,
+                                 const Layers& layers);
+
+/// Human-readable fingerprint-coverage report: per mixed struct, every
+/// field path with its status (mixed / exempt / gap / opaque).
+[[nodiscard]] std::string coverage_report(const ProjectModel& model,
+                                          const ExemptionManifest& exemptions);
+
+}  // namespace leolint

@@ -1,0 +1,11 @@
+#pragma once
+// graph fixture: bottom-layer module with a plain data struct.
+
+namespace leodivide::geo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+}  // namespace leodivide::geo

@@ -1,0 +1,16 @@
+#pragma once
+// graph fixture: infra-layer parallel primitives (stubs — phase 2 only
+// needs the call-site names).
+
+#include <cstddef>
+
+namespace leodivide::runtime {
+
+struct Executor {};
+
+template <typename Body>
+void parallel_for_each(Executor&, std::size_t lo, std::size_t hi, Body body) {
+  for (std::size_t i = lo; i < hi; ++i) body(i);
+}
+
+}  // namespace leodivide::runtime

@@ -1,0 +1,20 @@
+#pragma once
+// graph fixture: top-layer config structs consumed by the snapshot mixer.
+
+#include "leodivide/geo/point.hpp"
+
+namespace leodivide::sim {
+
+struct ShellSpec {
+  double altitude_km = 550.0;
+  int planes = 72;
+};
+
+struct MiniConfig {
+  ShellSpec shell;
+  geo::GeoPoint origin;
+  double step_s = 1.0;
+  int debug_label = 0;  // exempt: presentation-only (see exemptions.txt)
+};
+
+}  // namespace leodivide::sim

@@ -1,0 +1,21 @@
+// graph fixture: a parallel call site with an explicit, waived capture
+// list — the clean shape R10 expects.
+
+#include "leodivide/runtime/pool.hpp"
+#include "leodivide/sim/config.hpp"
+
+namespace leodivide::sim {
+
+double run(const MiniConfig& config, runtime::Executor& executor) {
+  double out[4] = {0.0, 0.0, 0.0, 0.0};
+  const double scale = config.step_s;
+  runtime::parallel_for_each(
+      executor, 0, 4,
+      // leolint:allow(parallel-capture): each task writes only its own out[i] slot
+      [&out, scale](std::size_t i) {
+        out[i] = scale * static_cast<double>(i);
+      });
+  return out[0] + out[3];
+}
+
+}  // namespace leodivide::sim

@@ -1,0 +1,21 @@
+// graph fixture: fingerprint mixer covering every MiniConfig field except
+// the exempted debug_label (see exemptions.txt).
+
+#include "leodivide/sim/config.hpp"
+
+namespace leodivide::snapshot {
+
+struct Fingerprint {
+  unsigned long long h = 1469598103934665603ULL;
+  void mix_u64(unsigned long long v) { h = (h ^ v) * 1099511628211ULL; }
+};
+
+void mix(Fingerprint& fp, const sim::MiniConfig& config) {
+  fp.mix_u64(static_cast<unsigned long long>(config.shell.altitude_km));
+  fp.mix_u64(static_cast<unsigned long long>(config.shell.planes));
+  fp.mix_u64(static_cast<unsigned long long>(config.origin.lat_deg));
+  fp.mix_u64(static_cast<unsigned long long>(config.origin.lon_deg));
+  fp.mix_u64(static_cast<unsigned long long>(config.step_s));
+}
+
+}  // namespace leodivide::snapshot

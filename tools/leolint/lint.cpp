@@ -8,258 +8,13 @@
 #include <stdexcept>
 
 #include "leodivide/io/fileio.hpp"
+#include "source_view.hpp"
 
 namespace leolint {
 
 namespace {
 
-// ------------------------------------------------------------ code view --
-// Strips comments, string/char literals and raw strings from a file,
-// producing one "code" line per source line with stripped regions replaced
-// by spaces (columns are preserved for readability in diagnostics). The
-// raw lines are kept alongside for annotation parsing, because annotations
-// live inside comments.
-
-struct FileView {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-};
-
-FileView make_view(std::string_view text) {
-  FileView v;
-  std::string raw_line;
-  std::string code_line;
-
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string raw_end;  // ")delim\"" terminator of the active raw string
-  char prev_code = '\0';
-
-  auto flush_line = [&] {
-    v.raw.push_back(raw_line);
-    v.code.push_back(code_line);
-    raw_line.clear();
-    code_line.clear();
-    if (state == State::kLineComment) state = State::kCode;
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      flush_line();
-      continue;
-    }
-    raw_line.push_back(c);
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line.push_back(' ');
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line.push_back(' ');
-        } else if (c == '"' && prev_code == 'R') {
-          // Raw string literal: R"delim( ... )delim". Find the opening
-          // parenthesis to learn the delimiter.
-          std::size_t open = text.find('(', i + 1);
-          if (open == std::string_view::npos) {
-            code_line.push_back(' ');  // malformed; treat rest as literal
-            state = State::kString;
-          } else {
-            raw_end = ")";
-            raw_end.append(text.substr(i + 1, open - (i + 1)));
-            raw_end.push_back('"');
-            state = State::kRawString;
-            code_line.push_back(' ');
-          }
-          prev_code = '\0';
-        } else if (c == '"') {
-          state = State::kString;
-          code_line.push_back(' ');
-          prev_code = '\0';
-        } else if (c == '\'' && !(std::isalnum(static_cast<unsigned char>(
-                                      prev_code)) != 0 ||
-                                  prev_code == '_')) {
-          // A quote after an identifier/digit is a digit separator
-          // (1'000'000) or a literal suffix, not a char literal.
-          state = State::kChar;
-          code_line.push_back(' ');
-          prev_code = '\0';
-        } else {
-          code_line.push_back(c);
-          if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-            prev_code = c;
-          }
-        }
-        break;
-      case State::kLineComment: code_line.push_back(' '); break;
-      case State::kBlockComment:
-        code_line.push_back(' ');
-        if (c == '*' && next == '/') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          ++i;
-          state = State::kCode;
-        }
-        break;
-      case State::kString:
-        code_line.push_back(' ');
-        if (c == '\\' && next != '\0' && next != '\n') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        }
-        break;
-      case State::kChar:
-        code_line.push_back(' ');
-        if (c == '\\' && next != '\0' && next != '\n') {
-          raw_line.push_back(next);
-          code_line.push_back(' ');
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        code_line.push_back(' ');
-        if (c == raw_end.front() &&
-            text.substr(i, raw_end.size()) == raw_end) {
-          // Consume the rest of the terminator (it cannot contain '\n').
-          for (std::size_t k = 1; k < raw_end.size(); ++k) {
-            raw_line.push_back(text[i + k]);
-            code_line.push_back(' ');
-          }
-          i += raw_end.size() - 1;
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  if (!raw_line.empty() || text.empty() || text.back() == '\n') {
-    // Final unterminated line (or preserve an empty trailing line slot for
-    // empty files so headers still get an R5 anchor line).
-    v.raw.push_back(raw_line);
-    v.code.push_back(code_line);
-  }
-  return v;
-}
-
-// ---------------------------------------------------------- annotations --
-
-struct Annotation {
-  std::set<std::string> rules;
-  bool valid = false;      ///< has a non-empty justification
-  bool whole_line = false;  ///< comment is the entire line (applies below)
-};
-
-const std::set<std::string>& known_rules() {
-  static const std::set<std::string> kRules{
-      "no-rand",     "no-wallclock",    "unordered-iter",
-      "float-eq",    "pragma-once",     "using-namespace", "raw-cast",
-  };
-  return kRules;
-}
-
-// Parses "leolint:allow(rule[, rule...]): justification" out of a raw
-// line. Returns true if an annotation marker is present at all.
-bool parse_annotation(const std::string& raw, Annotation& out,
-                      std::string& error) {
-  const std::size_t at = raw.find("leolint:allow");
-  if (at == std::string::npos) return false;
-  std::size_t i = at + std::string("leolint:allow").size();
-  if (i >= raw.size() || raw[i] != '(') {
-    error = "malformed annotation: expected 'leolint:allow(rule): reason'";
-    return true;
-  }
-  const std::size_t close = raw.find(')', ++i);
-  if (close == std::string::npos) {
-    error = "malformed annotation: missing ')'";
-    return true;
-  }
-  std::string rule;
-  for (std::size_t k = i; k <= close; ++k) {
-    const char c = raw[k];
-    if (c == ',' || c == ')') {
-      while (!rule.empty() && rule.back() == ' ') rule.pop_back();
-      std::size_t b = 0;
-      while (b < rule.size() && rule[b] == ' ') ++b;
-      rule = rule.substr(b);
-      if (rule.empty()) {
-        error = "malformed annotation: empty rule id";
-        return true;
-      }
-      if (known_rules().count(rule) == 0) {
-        error = "annotation names unknown rule '" + rule + "'";
-        return true;
-      }
-      out.rules.insert(rule);
-      rule.clear();
-    } else {
-      rule.push_back(c);
-    }
-  }
-  // Justification: a ':' after the ')' followed by non-space text.
-  std::size_t j = close + 1;
-  while (j < raw.size() && raw[j] == ' ') ++j;
-  if (j >= raw.size() || raw[j] != ':') {
-    error =
-        "annotation missing justification: write "
-        "'leolint:allow(rule): why this site is exempt'";
-    return true;
-  }
-  ++j;
-  while (j < raw.size() && std::isspace(static_cast<unsigned char>(raw[j]))) {
-    ++j;
-  }
-  if (j >= raw.size()) {
-    error = "annotation missing justification text after ':'";
-    return true;
-  }
-  out.valid = true;
-  // Whole-line annotation: nothing but whitespace before the comment.
-  const std::size_t slash = raw.find("//");
-  out.whole_line =
-      slash != std::string::npos &&
-      raw.find_first_not_of(" \t") == slash;
-  return true;
-}
-
 // --------------------------------------------------------------- helpers --
-
-bool path_has_component(std::string_view path, std::string_view comp) {
-  std::size_t start = 0;
-  while (start <= path.size()) {
-    std::size_t end = path.find_first_of("/\\", start);
-    if (end == std::string_view::npos) end = path.size();
-    if (path.substr(start, end - start) == comp) return true;
-    start = end + 1;
-  }
-  return false;
-}
-
-bool is_header(std::string_view path) {
-  for (std::string_view ext : {".hpp", ".hh", ".h", ".hxx"}) {
-    if (path.size() >= ext.size() &&
-        path.substr(path.size() - ext.size()) == ext) {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 // The set of identifiers declared in this file with an unordered container
 // type (variables, parameters, data members) — the working set for R3.
@@ -402,31 +157,11 @@ std::vector<Finding> lint_source(std::string_view path,
   const std::set<std::string> float_names = collect_float_names(joined);
 
   // Annotations, and annotation syntax errors (reported unconditionally).
-  std::vector<Annotation> annotations(view.raw.size());
+  const AnnotationTable annotations = collect_annotations(view.raw);
   std::vector<Finding> meta_findings;
-  for (std::size_t li = 0; li < view.raw.size(); ++li) {
-    Annotation a;
-    std::string error;
-    if (!parse_annotation(view.raw[li], a, error)) continue;
-    if (!a.valid) {
-      meta_findings.push_back(
-          Finding{file, li + 1, "bad-annotation", error});
-      continue;
-    }
-    annotations[li] = a;
+  for (const auto& [line, error] : annotations.errors) {
+    meta_findings.push_back(Finding{file, line, "bad-annotation", error});
   }
-
-  auto allowed = [&](std::size_t line_index, const std::string& rule) {
-    const Annotation& same = annotations[line_index];
-    if (same.valid && same.rules.count(rule) != 0) return true;
-    if (line_index > 0) {
-      const Annotation& above = annotations[line_index - 1];
-      if (above.valid && above.whole_line && above.rules.count(rule) != 0) {
-        return true;
-      }
-    }
-    return false;
-  };
 
   static const std::regex kRand(
       R"(\b(?:std\s*::\s*)?(?:rand|srand)\s*\(|\brandom_device\b)");
@@ -583,7 +318,7 @@ std::vector<Finding> lint_source(std::string_view path,
 
   std::vector<Finding> out = std::move(meta_findings);
   for (auto& f : raw_findings) {
-    if (!allowed(f.line - 1, f.rule)) out.push_back(std::move(f));
+    if (!annotations.allows(f.line - 1, f.rule)) out.push_back(std::move(f));
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
@@ -591,7 +326,8 @@ std::vector<Finding> lint_source(std::string_view path,
   return out;
 }
 
-std::vector<Finding> lint_paths(const std::vector<std::string>& roots) {
+std::vector<std::string> enumerate_sources(
+    const std::vector<std::string>& roots) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   auto want = [](const fs::path& p) {
@@ -618,9 +354,12 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& roots) {
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
 
+std::vector<Finding> lint_paths(const std::vector<std::string>& roots) {
   std::vector<Finding> out;
-  for (const auto& f : files) {
+  for (const auto& f : enumerate_sources(roots)) {
     const std::string text = leodivide::io::read_text_file(f);
     std::vector<Finding> found = lint_source(f, text);
     out.insert(out.end(), std::make_move_iterator(found.begin()),

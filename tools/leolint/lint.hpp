@@ -18,6 +18,10 @@
 //                       bounds-checked readers are the one sanctioned
 //                       place for byte-level reinterpretation)
 //
+// Phase 2 (whole-program rules R8–R10: module layering, fingerprint
+// coverage, parallel-capture safety) lives in project.hpp/analyze.hpp and
+// runs over a ProjectModel built from many files at once.
+//
 // A finding can be waived with a same-line (or immediately preceding
 // whole-line) annotation carrying a justification:
 //   ... // leolint:allow(unordered-iter): count only, order never observed
@@ -58,6 +62,12 @@ struct Finding {
 /// directory enumeration order. Throws std::runtime_error for a root that
 /// does not exist.
 [[nodiscard]] std::vector<Finding> lint_paths(
+    const std::vector<std::string>& roots);
+
+/// The sorted, deduplicated list of C++ sources lint_paths would visit —
+/// shared with phase 2 so both phases see the same file set. Throws
+/// std::runtime_error for a root that does not exist.
+[[nodiscard]] std::vector<std::string> enumerate_sources(
     const std::vector<std::string>& roots);
 
 /// "file:line: rule-id message" — the format CI greps for.

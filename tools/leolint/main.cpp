@@ -1,49 +1,141 @@
-// leolint CLI. Usage: leolint <path>... — lints every C++ source under
-// the given files/directories and exits nonzero on any finding, so it can
-// gate CI and ctest (`lint.leolint`).
+// leolint CLI. Usage: leolint [options] <path>... — lints every C++
+// source under the given files/directories and exits nonzero on any
+// finding, so it can gate CI and ctest (`lint.leolint`, `lint.graph`).
+//
+// Phase 1 (per-file rules R1–R7) always runs. Phase 2 (whole-program
+// rules R8–R10) runs when --project is given: it builds one model over
+// all roots and checks module layering, fingerprint coverage and
+// parallel-capture safety on top of the per-file findings.
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analyze.hpp"
 #include "lint.hpp"
+#include "project.hpp"
 
 namespace {
 
 void usage() {
   std::fputs(
-      "usage: leolint <path>...\n"
+      "usage: leolint [options] <path>...\n"
       "\n"
       "Lints C++ sources (.cpp .cc .cxx .hpp .hh .h .hxx) under each path\n"
       "for determinism and hygiene violations. Exit status: 0 clean,\n"
       "1 findings, 2 usage or I/O error.\n"
       "\n"
-      "Rules: no-rand (R1), no-wallclock (R2), unordered-iter (R3),\n"
-      "float-eq (R4), pragma-once (R5), using-namespace (R6),\n"
+      "Phase 1 rules: no-rand (R1), no-wallclock (R2), unordered-iter\n"
+      "(R3), float-eq (R4), pragma-once (R5), using-namespace (R6),\n"
       "raw-cast (R7).\n"
+      "\n"
+      "Options (phase 2, whole-program):\n"
+      "  --project             also run R8-R10 over one project model\n"
+      "  --layers <file>       module layering DAG (required w/ --project)\n"
+      "  --exemptions <file>   fingerprint exemption manifest (R9)\n"
+      "  --dot <file>          write the module include graph as Graphviz\n"
+      "  --coverage <file>     write the fingerprint-coverage report\n"
+      "\n"
+      "Phase 2 rules: layer-cycle / layer-violation / layer-unknown (R8),\n"
+      "fingerprint-gap / stale-exemption (R9), parallel-capture (R10).\n"
       "Waive a site with: // leolint:allow(rule-id): justification\n",
       stderr);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("leolint: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("leolint: cannot write " + path);
+  out << text;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  bool project = false;
+  std::string layers_path;
+  std::string exemptions_path;
+  std::string dot_path;
+  std::string coverage_path;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "leolint: %s needs an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
     if (arg == "-h" || arg == "--help") {
       usage();
       return 0;
+    } else if (arg == "--project") {
+      project = true;
+    } else if (arg == "--layers") {
+      layers_path = value("--layers");
+    } else if (arg == "--exemptions") {
+      exemptions_path = value("--exemptions");
+    } else if (arg == "--dot") {
+      dot_path = value("--dot");
+    } else if (arg == "--coverage") {
+      coverage_path = value("--coverage");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "leolint: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
     }
-    roots.push_back(arg);
   }
   if (roots.empty()) {
     usage();
     return 2;
   }
+  if (project && layers_path.empty()) {
+    std::fprintf(stderr, "leolint: --project requires --layers\n");
+    return 2;
+  }
+
   try {
-    const std::vector<leolint::Finding> findings = leolint::lint_paths(roots);
+    std::vector<leolint::Finding> findings = leolint::lint_paths(roots);
+
+    if (project) {
+      const leolint::ProjectModel model =
+          leolint::build_project_from_paths(roots);
+      const leolint::Layers layers =
+          leolint::parse_layers(read_file(layers_path));
+      leolint::ExemptionManifest manifest;
+      manifest.file = exemptions_path.empty() ? "<no-exemptions>"
+                                              : exemptions_path;
+      if (!exemptions_path.empty()) {
+        manifest = leolint::parse_exemptions(exemptions_path,
+                                             read_file(exemptions_path));
+      }
+      std::vector<leolint::Finding> phase2 =
+          leolint::run_project_rules(model, layers, manifest);
+      findings.insert(findings.end(),
+                      std::make_move_iterator(phase2.begin()),
+                      std::make_move_iterator(phase2.end()));
+      if (!dot_path.empty()) {
+        write_file(dot_path, leolint::to_dot(model, layers));
+      }
+      if (!coverage_path.empty()) {
+        write_file(coverage_path, leolint::coverage_report(model, manifest));
+      }
+    }
+
     for (const auto& f : findings) {
       std::fprintf(stdout, "%s\n", leolint::format(f).c_str());
     }

@@ -1,0 +1,561 @@
+#include "project.hpp"
+
+#include <algorithm>
+#include <regex>
+#include <stdexcept>
+
+#include "leodivide/io/fileio.hpp"
+#include "lint.hpp"
+
+namespace leolint {
+
+namespace {
+
+// --------------------------------------------------------------- lexical --
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+/// 1-based line of offset `pos` in a joined '\n'-separated code string.
+struct LineIndex {
+  std::vector<std::size_t> starts;  // offset of each line's first char
+
+  explicit LineIndex(const std::string& joined) {
+    starts.push_back(0);
+    for (std::size_t i = 0; i < joined.size(); ++i) {
+      if (joined[i] == '\n') starts.push_back(i + 1);
+    }
+  }
+  [[nodiscard]] std::size_t line_of(std::size_t pos) const {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<std::size_t>(it - starts.begin());
+  }
+};
+
+/// Position just past the '}' matching the '{' at `open`. Returns
+/// std::string::npos when unbalanced (truncated file) — callers stop.
+std::size_t skip_braced(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '{') ++depth;
+    if (s[i] == '}' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Position just past the ';' terminating the statement starting at `pos`,
+/// skipping nested parens/braces (initializer lists, default arguments).
+std::size_t skip_to_semicolon(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '{' || c == '(') ++depth;
+    if (c == '}' || c == ')') --depth;
+    if (c == ';' && depth <= 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::string strip_attributes(std::string stmt) {
+  std::size_t at;
+  while ((at = stmt.find("[[")) != std::string::npos) {
+    const std::size_t end = stmt.find("]]", at);
+    if (end == std::string::npos) break;
+    stmt.erase(at, end + 2 - at);
+  }
+  return stmt;
+}
+
+std::string last_identifier(const std::string& s) {
+  std::size_t e = s.size();
+  while (e > 0 && !ident_char(s[e - 1])) --e;
+  std::size_t b = e;
+  while (b > 0 && ident_char(s[b - 1])) --b;
+  return s.substr(b, e - b);
+}
+
+bool starts_with_keyword(const std::string& stmt, std::string_view kw) {
+  if (stmt.size() < kw.size() || stmt.compare(0, kw.size(), kw) != 0) {
+    return false;
+  }
+  return stmt.size() == kw.size() || !ident_char(stmt[kw.size()]);
+}
+
+// ---------------------------------------------------------- struct parse --
+
+/// Parses the members of the struct whose body opens at `open` (offset of
+/// '{'). Data members only: member functions, nested types, usings,
+/// friends and operators are skipped. Multi-declarator members
+/// (`double a, b;`) record the first declarator only — the inventoried
+/// config structs declare one field per statement.
+std::vector<StructField> parse_struct_fields(const std::string& code,
+                                             std::size_t open,
+                                             const LineIndex& lines) {
+  std::vector<StructField> fields;
+  std::size_t i = open + 1;
+  std::string stmt;
+  std::size_t stmt_start = i;
+  int paren = 0;
+  int angle = 0;
+
+  auto reset = [&](std::size_t next) {
+    stmt.clear();
+    stmt_start = next;
+    paren = 0;
+    angle = 0;
+    i = next;
+  };
+
+  auto finish_field = [&](char trigger) {
+    const std::string cleaned = strip_attributes(trim(stmt));
+    const bool skip = cleaned.empty() ||
+                      starts_with_keyword(cleaned, "using") ||
+                      starts_with_keyword(cleaned, "typedef") ||
+                      starts_with_keyword(cleaned, "friend") ||
+                      starts_with_keyword(cleaned, "static") ||
+                      starts_with_keyword(cleaned, "template") ||
+                      cleaned.find("operator") != std::string::npos ||
+                      cleaned.find('(') != std::string::npos;
+    if (!skip) {
+      const std::string name = last_identifier(cleaned);
+      if (!name.empty()) {
+        std::string type = cleaned.substr(0, cleaned.rfind(name));
+        while (!type.empty() &&
+               (std::isspace(static_cast<unsigned char>(type.back())) != 0 ||
+                type.back() == '&' || type.back() == '*')) {
+          type.pop_back();
+        }
+        fields.push_back(StructField{name, type, lines.line_of(stmt_start)});
+      }
+    }
+    // Consume the remainder of the statement (initializer and ';').
+    const std::size_t next = trigger == ';'
+                                 ? i + 1
+                                 : skip_to_semicolon(code, i);
+    reset(next == std::string::npos ? code.size() : next);
+  };
+
+  while (i < code.size()) {
+    const char c = code[i];
+    if (paren == 0 && angle == 0) {
+      if (c == '}') return fields;  // struct body ends
+      if (c == '{' ) {
+        const std::string cleaned = strip_attributes(trim(stmt));
+        const bool nested_type = starts_with_keyword(cleaned, "struct") ||
+                                 starts_with_keyword(cleaned, "class") ||
+                                 starts_with_keyword(cleaned, "enum") ||
+                                 starts_with_keyword(cleaned, "union");
+        const bool function = !nested_type &&
+                              cleaned.find('(') != std::string::npos &&
+                              cleaned.find('=') == std::string::npos;
+        if (nested_type || function) {
+          std::size_t next = skip_braced(code, i);
+          if (next == std::string::npos) return fields;
+          if (nested_type) {
+            next = skip_to_semicolon(code, next);
+            if (next == std::string::npos) return fields;
+          }
+          reset(next);
+          continue;
+        }
+        finish_field('{');
+        continue;
+      }
+      if (c == '=' ) {
+        finish_field('=');
+        continue;
+      }
+      if (c == ';') {
+        finish_field(';');
+        continue;
+      }
+      if (c == ':' && (i + 1 >= code.size() || code[i + 1] != ':') &&
+          (i == 0 || code[i - 1] != ':')) {
+        // Access-specifier label (or base-class list of a skipped nested
+        // type) — discard the pending statement.
+        reset(i + 1);
+        continue;
+      }
+    }
+    if (c == '(') ++paren;
+    if (c == ')' && paren > 0) --paren;
+    if (paren == 0) {
+      if (c == '<') ++angle;
+      if (c == '>' && angle > 0) --angle;
+    }
+    stmt.push_back(c);
+    ++i;
+  }
+  return fields;
+}
+
+void collect_structs(const std::string& path, const std::string& module,
+                     const std::string& code, const LineIndex& lines,
+                     std::map<std::string, StructDef>& out) {
+  if (module.empty()) return;
+  static const std::regex kStruct(R"(\bstruct\s+(\w+)\s*(?:final\s*)?\{)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kStruct);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    const std::size_t open =
+        static_cast<std::size_t>(it->position()) + it->length() - 1;
+    StructDef def;
+    def.qualified = module + "::" + name;
+    def.file = path;
+    def.line = lines.line_of(static_cast<std::size_t>(it->position()));
+    def.fields = parse_struct_fields(code, open, lines);
+    // First definition wins (redefinitions across files would be an ODR
+    // bug the compiler reports; headers are scanned before their .cpp in
+    // sorted order only by accident, so keep whichever parsed fields).
+    auto [slot, inserted] = out.emplace(def.qualified, def);
+    if (!inserted && slot->second.fields.empty() && !def.fields.empty()) {
+      slot->second = def;
+    }
+  }
+}
+
+// ----------------------------------------------------------- mixer parse --
+
+/// Normalizes "leodivide::sim::SimulationConfig" / "sim :: Simulation…"
+/// to "sim::SimulationConfig"; unqualified names get the host module.
+std::string normalize_type(std::string type, const std::string& module) {
+  std::string flat;
+  for (char c : type) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) flat.push_back(c);
+  }
+  const std::string prefix = "leodivide::";
+  if (flat.compare(0, prefix.size(), prefix) == 0) {
+    flat = flat.substr(prefix.size());
+  }
+  if (flat.find("::") == std::string::npos && !module.empty()) {
+    flat = module + "::" + flat;
+  }
+  return flat;
+}
+
+void collect_mixers(const std::string& path, const std::string& module,
+                    const std::string& code, const LineIndex& lines,
+                    std::vector<MixerSite>& out) {
+  static const std::regex kMixer(
+      R"(\bvoid\s+mix\s*\(\s*Fingerprint\s*&\s*\w+\s*,\s*const\s+((?:\w+\s*::\s*)*\w+)\s*&\s*(\w+)\s*\)\s*\{)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kMixer);
+       it != std::sregex_iterator(); ++it) {
+    MixerSite site;
+    site.qualified_type = normalize_type((*it)[1].str(), module);
+    site.param = (*it)[2].str();
+    site.file = path;
+    site.line = lines.line_of(static_cast<std::size_t>(it->position()));
+
+    const std::size_t open =
+        static_cast<std::size_t>(it->position()) + it->length() - 1;
+    const std::size_t close = skip_braced(code, open);
+    const std::string body = code.substr(
+        open, (close == std::string::npos ? code.size() : close) - open);
+
+    // Every `param.a.b...` chain in the body. A chain truncates at the
+    // first member *call*: `p.capacity.plan()` consumes `capacity` whole.
+    const std::regex kParam("\\b" + site.param + R"(\s*\.)");
+    for (auto pit = std::sregex_iterator(body.begin(), body.end(), kParam);
+         pit != std::sregex_iterator(); ++pit) {
+      std::size_t i = static_cast<std::size_t>(pit->position()) +
+                      pit->length();
+      std::vector<std::string> parts;
+      bool whole_object_call = false;
+      while (true) {
+        std::string id;
+        while (i < body.size() && ident_char(body[i])) id.push_back(body[i++]);
+        if (id.empty()) break;
+        std::size_t j = i;
+        while (j < body.size() &&
+               std::isspace(static_cast<unsigned char>(body[j])) != 0) {
+          ++j;
+        }
+        if (j < body.size() && body[j] == '(') {
+          // Method call: the chain so far is consumed as a whole.
+          whole_object_call = parts.empty();
+          break;
+        }
+        parts.push_back(id);
+        if (j < body.size() && body[j] == '.') {
+          i = j + 1;
+          continue;
+        }
+        break;
+      }
+      if (!parts.empty()) {
+        std::string joined_path = parts[0];
+        for (std::size_t k = 1; k < parts.size(); ++k) {
+          joined_path += '.';
+          joined_path += parts[k];
+        }
+        site.full_paths.insert(joined_path);
+      } else if (whole_object_call) {
+        site.full_paths.insert("");  // whole-object use, e.g. p.digest()
+      }
+    }
+    out.push_back(std::move(site));
+  }
+}
+
+// ----------------------------------------------------- parallel captures --
+
+std::vector<Capture> parse_capture_list(const std::string& code,
+                                        std::size_t open_bracket) {
+  std::vector<Capture> captures;
+  // Find the matching ']' (init-captures may nest brackets).
+  int depth = 0;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = open_bracket; i < code.size(); ++i) {
+    if (code[i] == '[') ++depth;
+    if (code[i] == ']' && --depth == 0) {
+      close = i;
+      break;
+    }
+  }
+  if (close == std::string::npos) return captures;
+
+  std::vector<std::string> items;
+  std::string item;
+  int inner = 0;
+  for (std::size_t i = open_bracket + 1; i < close; ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '{' || c == '[' || c == '<') ++inner;
+    if (c == ')' || c == '}' || c == ']' || c == '>') --inner;
+    if (c == ',' && inner == 0) {
+      items.push_back(item);
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  items.push_back(item);
+
+  for (const std::string& raw : items) {
+    const std::string tok = trim(raw);
+    if (tok.empty()) continue;
+    Capture cap;
+    if (tok == "&") {
+      cap.kind = Capture::Kind::kDefaultRef;
+    } else if (tok == "=") {
+      cap.kind = Capture::Kind::kDefaultCopy;
+    } else if (tok == "this" || tok == "*this") {
+      cap.kind = Capture::Kind::kThis;
+    } else if (tok[0] == '&') {
+      cap.kind = Capture::Kind::kByRef;
+      std::size_t i = 1;
+      while (i < tok.size() &&
+             std::isspace(static_cast<unsigned char>(tok[i])) != 0) {
+        ++i;
+      }
+      while (i < tok.size() && ident_char(tok[i])) cap.name.push_back(tok[i++]);
+    } else {
+      cap.kind = Capture::Kind::kByValue;
+      std::size_t i = 0;
+      while (i < tok.size() && ident_char(tok[i])) cap.name.push_back(tok[i++]);
+    }
+    captures.push_back(std::move(cap));
+  }
+  return captures;
+}
+
+/// `auto name = [...]` lambdas, so call sites passing the name resolve.
+std::map<std::string, std::size_t> collect_named_lambdas(
+    const std::string& code) {
+  std::map<std::string, std::size_t> out;
+  static const std::regex kNamed(R"(\bauto\s+(\w+)\s*=\s*\[)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kNamed);
+       it != std::sregex_iterator(); ++it) {
+    out.emplace((*it)[1].str(),
+                static_cast<std::size_t>(it->position()) + it->length() - 1);
+  }
+  return out;
+}
+
+void collect_parallel_sites(const std::string& path, const std::string& module,
+                            const std::string& code, const LineIndex& lines,
+                            std::vector<ParallelSite>& out) {
+  // The runtime module *implements* the primitives; its internal lambdas
+  // are the machinery itself (mirrors the stats/ exemption for R1).
+  if (module == "runtime") return;
+
+  const std::map<std::string, std::size_t> named = collect_named_lambdas(code);
+  static const std::regex kCall(
+      R"(\b(?:runtime\s*::\s*)?(parallel_for_each|parallel_for|map_reduce|run_tasks)\s*)");
+
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kCall);
+       it != std::sregex_iterator(); ++it) {
+    const std::string callee = (*it)[1].str();
+    std::size_t i = static_cast<std::size_t>(it->position()) + it->length();
+    // Optional explicit template argument list: map_reduce<Shard>(...).
+    if (i < code.size() && code[i] == '<') {
+      int angle = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++angle;
+        if (code[i] == '>' && --angle == 0) {
+          ++i;
+          break;
+        }
+      }
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+        ++i;
+      }
+    }
+    if (i >= code.size() || code[i] != '(') continue;  // not a call
+
+    // Scan the argument list. Lambdas and named-lambda arguments are only
+    // recognised at the call's own nesting level (paren depth 1, brace
+    // depth 0) so brackets inside lambda bodies never confuse the parser.
+    int paren = 0;
+    int brace = 0;
+    char prev = '\0';
+    for (; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '(') ++paren;
+      if (c == ')' && --paren == 0) break;
+      if (c == '{') ++brace;
+      if (c == '}') --brace;
+      if (paren == 1 && brace == 0) {
+        if (c == '[' && !ident_char(prev) && prev != ')' && prev != ']') {
+          ParallelSite site;
+          site.callee = callee;
+          site.file = path;
+          site.line = lines.line_of(i);
+          site.captures = parse_capture_list(code, i);
+          out.push_back(std::move(site));
+          // Jump past the capture list so its contents aren't rescanned.
+          int depth = 0;
+          for (; i < code.size(); ++i) {
+            if (code[i] == '[') ++depth;
+            if (code[i] == ']' && --depth == 0) break;
+          }
+        } else if (ident_char(c) && !ident_char(prev)) {
+          std::string id;
+          std::size_t j = i;
+          while (j < code.size() && ident_char(code[j])) id.push_back(code[j++]);
+          const auto named_it = named.find(id);
+          if (named_it != named.end()) {
+            std::size_t k = j;
+            while (k < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[k])) != 0) {
+              ++k;
+            }
+            if (k < code.size() && (code[k] == ',' || code[k] == ')')) {
+              ParallelSite site;
+              site.callee = callee;
+              site.file = path;
+              site.line = lines.line_of(named_it->second);
+              site.captures = parse_capture_list(code, named_it->second);
+              out.push_back(std::move(site));
+            }
+          }
+          i = j - 1;
+        }
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) prev = c;
+    }
+  }
+}
+
+// ------------------------------------------------------------ const set --
+
+std::set<std::string> collect_const_names(const std::string& code) {
+  std::set<std::string> names;
+  static const std::regex kConst(
+      R"((?:\bconst\b|\bconstexpr\b)[\w:<>,&*\s\[\]]*?\b(\w+)\s*[=;,){])");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kConst);
+       it != std::sregex_iterator(); ++it) {
+    names.insert((*it)[1].str());
+  }
+  return names;
+}
+
+// -------------------------------------------------------------- includes --
+
+void collect_includes(const std::string& path, const std::string& module,
+                      const FileView& view, std::vector<IncludeEdge>& out) {
+  // Matched against *raw* lines (the code view blanks string contents,
+  // which would erase the include path). The code view is consulted to
+  // reject directives that live inside comments.
+  static const std::regex kInclude(
+      R"rx(^\s*#\s*include\s*"(leodivide/(\w+)/[^"]*)")rx");
+  for (std::size_t li = 0; li < view.raw.size(); ++li) {
+    const std::string& code = view.code[li];
+    const std::size_t first = code.find_first_not_of(" \t");
+    if (first == std::string::npos || code[first] != '#') continue;
+    std::smatch m;
+    if (std::regex_search(view.raw[li], m, kInclude)) {
+      IncludeEdge edge;
+      edge.file = path;
+      edge.line = li + 1;
+      edge.from_module = module;
+      edge.to_module = m[2].str();
+      edge.target = m[1].str();
+      out.push_back(std::move(edge));
+    }
+  }
+}
+
+}  // namespace
+
+std::string module_of_path(std::string_view path) {
+  std::string last;
+  std::size_t start = 0;
+  std::string prev;
+  while (start <= path.size()) {
+    std::size_t end = path.find_first_of("/\\", start);
+    if (end == std::string_view::npos) end = path.size();
+    const std::string comp(path.substr(start, end - start));
+    if (prev == "leodivide" && !comp.empty()) last = comp;
+    prev = comp;
+    start = end + 1;
+  }
+  // A file directly under leodivide/ (no module subdirectory) has none.
+  if (!last.empty() && last.find('.') != std::string::npos) return "";
+  return last;
+}
+
+ProjectModel build_project(std::vector<SourceText> sources) {
+  std::sort(sources.begin(), sources.end(),
+            [](const SourceText& a, const SourceText& b) {
+              return a.path < b.path;
+            });
+  ProjectModel model;
+  for (const SourceText& src : sources) {
+    const FileView view = make_view(src.text);
+    std::string joined;
+    for (const auto& l : view.code) {
+      joined += l;
+      joined += '\n';
+    }
+    const LineIndex lines(joined);
+    const std::string module = module_of_path(src.path);
+
+    model.annotations.emplace(src.path, collect_annotations(view.raw));
+    model.file_module.emplace(src.path, module);
+    model.const_names.emplace(src.path, collect_const_names(joined));
+    collect_includes(src.path, module, view, model.includes);
+    collect_structs(src.path, module, joined, lines, model.structs);
+    collect_mixers(src.path, module, joined, lines, model.mixers);
+    collect_parallel_sites(src.path, module, joined, lines,
+                           model.parallel_sites);
+  }
+  return model;
+}
+
+ProjectModel build_project_from_paths(const std::vector<std::string>& roots) {
+  std::vector<SourceText> sources;
+  for (const std::string& f : enumerate_sources(roots)) {
+    sources.push_back(SourceText{f, leodivide::io::read_text_file(f)});
+  }
+  return build_project(std::move(sources));
+}
+
+}  // namespace leolint

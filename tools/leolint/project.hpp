@@ -1,0 +1,135 @@
+#pragma once
+// leolint phase 2 — the whole-program project model. Phase 1 judges one
+// file at a time; the properties that keep the pipeline cache-correct at
+// scale are cross-file: the module DAG must stay layered, every config
+// field must reach its stage fingerprint, and no parallel lambda may
+// mutate shared state by reference. This header models exactly the facts
+// those rules need:
+//
+//   * the include graph over `leodivide/<module>/...` headers,
+//   * a field inventory for every struct a fingerprint mixer consumes,
+//   * the field paths each `mix(Fingerprint&, const T&)` body actually
+//     touches,
+//   * the capture list of every lambda handed to runtime::parallel_for /
+//     parallel_for_each / map_reduce / run_tasks.
+//
+// The model is built from (path, text) pairs so tests can mutate sources
+// in memory (delete a mixer line, inject a back-edge include) and assert
+// the corresponding rule fires — the seeded-mutation suites in
+// test_leolint_graph.cpp do exactly that.
+//
+// Like phase 1 this is a textual analyzer, not a C++ front end. The
+// documented limitations: namespaces are assumed to mirror module
+// directories (leodivide::sim lives in src/leodivide/sim/), struct
+// parsing understands plain data structs (member functions are skipped,
+// templates are not resolved), and lambdas are only attributed to a
+// parallel call site when passed inline or through a named `auto var =
+// [...]` in the same file.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "source_view.hpp"
+
+namespace leolint {
+
+/// One source file handed to the model builder.
+struct SourceText {
+  std::string path;
+  std::string text;
+};
+
+/// One `#include "leodivide/<module>/..."` directive.
+struct IncludeEdge {
+  std::string file;
+  std::size_t line = 0;          ///< 1-based
+  std::string from_module;       ///< empty when the includer is outside
+                                 ///< a leodivide/ module directory
+  std::string to_module;
+  std::string target;            ///< the quoted include path
+};
+
+/// One data member of an inventoried struct.
+struct StructField {
+  std::string name;
+  std::string type;  ///< declarator type text, e.g. "orbit::WalkerShell"
+  std::size_t line = 0;
+};
+
+/// One struct definition, keyed by "module::Name".
+struct StructDef {
+  std::string qualified;
+  std::string file;
+  std::size_t line = 0;
+  std::vector<StructField> fields;
+};
+
+/// One `void mix(Fingerprint&, const T& p)` definition. `full_paths`
+/// holds every dotted member path the body consumes whole: a leaf read
+/// (`p.shell.planes` -> "shell.planes") or a method call on a prefix
+/// (`p.capacity.plan()` -> "capacity" — the call consumes the member as a
+/// whole). A field is *partially* referenced when it only appears as a
+/// proper prefix of some full path.
+struct MixerSite {
+  std::string qualified_type;  ///< "module::Struct", leolint-normalized
+  std::string param;
+  std::string file;
+  std::size_t line = 0;
+  std::set<std::string> full_paths;
+};
+
+/// One capture of a lambda at a parallel call site.
+struct Capture {
+  enum class Kind {
+    kDefaultRef,   ///< [&]
+    kDefaultCopy,  ///< [=]
+    kThis,         ///< this / *this
+    kByRef,        ///< &name (including &name = init)
+    kByValue,      ///< name / name = init
+  };
+  Kind kind = Kind::kByValue;
+  std::string name;  ///< empty for defaults/this
+};
+
+/// One lambda handed to a parallel primitive. `line` anchors the lambda's
+/// '[' (where a leolint:allow(parallel-capture) waiver belongs).
+struct ParallelSite {
+  std::string callee;  ///< parallel_for / parallel_for_each / map_reduce /
+                       ///< run_tasks
+  std::string file;
+  std::size_t line = 0;
+  std::vector<Capture> captures;
+};
+
+/// The assembled whole-program model.
+struct ProjectModel {
+  /// Per-file raw lines (for annotation/waiver lookups) keyed by path.
+  std::map<std::string, AnnotationTable> annotations;
+  /// Module of each file ("" when outside a leodivide module directory).
+  std::map<std::string, std::string> file_module;
+  std::vector<IncludeEdge> includes;
+  std::map<std::string, StructDef> structs;  ///< key: "module::Name"
+  std::vector<MixerSite> mixers;
+  std::vector<ParallelSite> parallel_sites;
+  /// Identifiers declared const/constexpr, per file — the R10 whitelist.
+  std::map<std::string, std::set<std::string>> const_names;
+};
+
+/// Builds the model from in-memory sources (deterministic: inputs are
+/// processed in sorted path order regardless of the order given).
+[[nodiscard]] ProjectModel build_project(std::vector<SourceText> sources);
+
+/// Convenience: enumerate + read every C++ source under `roots` (see
+/// enumerate_sources) and build the model from disk.
+[[nodiscard]] ProjectModel build_project_from_paths(
+    const std::vector<std::string>& roots);
+
+/// Module of a path: the component following the last "leodivide"
+/// component ("" if the path has none, or "leodivide" is terminal).
+[[nodiscard]] std::string module_of_path(std::string_view path);
+
+}  // namespace leolint

@@ -1,0 +1,67 @@
+#pragma once
+// Shared lexical layer for both leolint phases: the comment/string
+// stripper that turns a file into per-line "code" text, the
+// leolint:allow(...) annotation parser, and small path helpers. Phase 1
+// (per-file rules, lint.cpp) and phase 2 (whole-program rules,
+// project.cpp/analyze.cpp) must agree byte-for-byte on what counts as
+// code and what counts as a waiver, so they share this one implementation.
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leolint {
+
+/// A file split into lines twice: `raw` is the text as written (where
+/// annotations live, inside comments), `code` has comments, string/char
+/// literals and raw strings blanked to spaces (columns preserved) so rule
+/// regexes never fire on quoted decoys.
+struct FileView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+[[nodiscard]] FileView make_view(std::string_view text);
+
+/// One parsed `leolint:allow(rule[, rule...]): justification` comment.
+struct Annotation {
+  std::set<std::string> rules;
+  bool valid = false;       ///< has a non-empty justification
+  bool whole_line = false;  ///< comment is the entire line (applies below)
+};
+
+/// Every rule id an annotation may name — phase 1 and phase 2 combined.
+[[nodiscard]] const std::set<std::string>& known_rules();
+
+/// Parses an annotation out of a raw line. Returns true if the marker is
+/// present at all; `out.valid` distinguishes well-formed waivers from
+/// malformed ones (whose defect is described in `error`).
+bool parse_annotation(const std::string& raw, Annotation& out,
+                      std::string& error);
+
+/// Per-file waiver table: the parsed annotation (if any) of every line,
+/// plus the `bad-annotation` findings for malformed ones, as (line, error)
+/// pairs (1-based lines).
+struct AnnotationTable {
+  std::vector<Annotation> by_line;
+  std::vector<std::pair<std::size_t, std::string>> errors;
+
+  /// True if `rule` is waived at 0-based line `line_index` — by a
+  /// same-line annotation or a whole-line annotation immediately above.
+  [[nodiscard]] bool allows(std::size_t line_index,
+                            const std::string& rule) const;
+};
+
+[[nodiscard]] AnnotationTable collect_annotations(
+    const std::vector<std::string>& raw_lines);
+
+/// True if `comp` appears as a whole path component of `path`.
+[[nodiscard]] bool path_has_component(std::string_view path,
+                                      std::string_view comp);
+
+[[nodiscard]] bool is_header(std::string_view path);
+
+[[nodiscard]] bool ident_char(char c);
+
+}  // namespace leolint
