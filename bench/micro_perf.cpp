@@ -10,7 +10,10 @@
 // gates against BENCH_sim.json. With `--sim-event` it compares the
 // event-driven engine against fixed-epoch stepping on multi-day
 // horizons, verifies byte-identical epoch traces, and emits
-// {"bench":"sim.event",...} lines gated against BENCH_event.json.
+// {"bench":"sim.event",...} lines gated against BENCH_event.json. With
+// `--market` it runs the three-operator default market serially and on a
+// three-thread pool, verifies the reports byte-identical, and emits
+// {"bench":"market.operators",...} lines gated against BENCH_market.json.
 
 #include <benchmark/benchmark.h>
 
@@ -39,6 +42,7 @@
 #include "leodivide/orbit/tle.hpp"
 #include "leodivide/afford/affordability.hpp"
 #include "leodivide/core/served_fraction.hpp"
+#include "leodivide/market/simulation.hpp"
 #include "leodivide/serve/incremental.hpp"
 #include "leodivide/serve/session.hpp"
 #include "leodivide/sim/maxflow.hpp"
@@ -641,6 +645,52 @@ int run_serve_delta_harness(std::size_t smoke_workers) {
   return rc;
 }
 
+// The `--market` harness: the three-operator default market under the
+// FairShare split, evaluated serially and on a three-thread pool (one
+// worker per operator — the parallelism MarketSimulation actually
+// exploits). The two reports are checked byte-identical (operator==, which
+// is bit-level on every float) before anything is timed. Returns the
+// process exit code: nonzero when the reports differ.
+int run_market_harness() {
+  bench::banner("micro_perf: market.operators serial vs pooled evaluation");
+  const demand::DemandProfile profile =
+      demand::SyntheticGenerator({.seed = 11, .scale = 1.0})
+          .generate_profile();
+
+  market::MarketConfig config;
+  config.operators = market::default_market();
+  config.split.policy = market::SplitPolicy::kFairShare;
+  const market::MarketSimulation simulation(config);
+  const std::size_t n_operators = config.operators.size();
+  std::cout << "  case: " << n_operators << " operators x "
+            << profile.cell_count() << " cells, policy "
+            << market::to_string(config.split.policy) << "\n";
+
+  runtime::Executor& serial = runtime::serial_executor();
+  runtime::ThreadPool pool(n_operators);
+
+  const market::MarketReport serial_report = simulation.run(profile, serial);
+  const market::MarketReport pool_report = simulation.run(profile, pool);
+  if (!(serial_report == pool_report)) {
+    std::cerr << "FAIL: serial and pooled market reports differ\n";
+    return 1;
+  }
+  std::cout << "  outputs:  byte-identical across executors\n";
+
+  const double serial_ms = best_of_ms(
+      3, [&] { benchmark::DoNotOptimize(simulation.run(profile, serial)); });
+  const double pool_ms = best_of_ms(
+      3, [&] { benchmark::DoNotOptimize(simulation.run(profile, pool)); });
+  std::cout << "  serial:   " << serial_ms << " ms\n"
+            << "  pooled:   " << pool_ms << " ms\n"
+            << "  speedup:  " << serial_ms / pool_ms << "x\n";
+  std::cout << "{\"bench\":\"market.operators\",\"operators\":" << n_operators
+            << ",\"cells\":" << profile.cell_count()
+            << ",\"serial_ms\":" << serial_ms << ",\"pool_ms\":" << pool_ms
+            << ",\"speedup\":" << serial_ms / pool_ms << "}" << std::endl;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -653,6 +703,7 @@ int main(int argc, char** argv) {
   bool sim_schedule = false;
   bool sim_event = false;
   bool serve_delta = false;
+  bool market = false;
   std::size_t workers = leodivide::runtime::worker_count_from_env(4);
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -668,6 +719,8 @@ int main(int argc, char** argv) {
       sim_event = true;
     } else if (arg == "--serve-delta") {
       serve_delta = true;
+    } else if (arg == "--market") {
+      market = true;
     } else if (leodivide::runtime::parse_workers_arg(argc, argv, i, workers)) {
       // Worker-pool flag (serve-delta concurrency smoke); consumed.
     } else if (obs::parse_cli_arg(obs_options, argc, argv, i)) {
@@ -679,7 +732,9 @@ int main(int argc, char** argv) {
   obs::apply(obs_options);
 
   int rc = 0;
-  if (serve_delta) {
+  if (market) {
+    rc = run_market_harness();
+  } else if (serve_delta) {
     rc = run_serve_delta_harness(workers);
   } else if (sim_schedule) {
     rc = run_sim_schedule_harness();

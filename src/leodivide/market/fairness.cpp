@@ -1,0 +1,23 @@
+#include "leodivide/market/fairness.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leodivide::market {
+
+double jain_index(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    if (!std::isfinite(x) || x < 0.0) {
+      throw std::invalid_argument("jain_index: negative or non-finite entry");
+    }
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // all-zero: trivially equal
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace leodivide::market

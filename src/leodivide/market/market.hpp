@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for the market subsystem: operators (operator.hpp),
+// spectrum sharing (split.hpp), fairness accounting (fairness.hpp), the
+// market driver (simulation.hpp) and console rendering (report.hpp).
+
+#include "leodivide/market/fairness.hpp"
+#include "leodivide/market/operator.hpp"
+#include "leodivide/market/report.hpp"
+#include "leodivide/market/simulation.hpp"
+#include "leodivide/market/split.hpp"

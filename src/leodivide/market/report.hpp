@@ -1,0 +1,15 @@
+#pragma once
+// Console rendering for market simulation results.
+
+#include <string>
+
+#include "leodivide/market/simulation.hpp"
+
+namespace leodivide::market {
+
+/// Renders a MarketReport as a console table: one row per operator
+/// (sized fleets, served fractions, first/last $/location-year points,
+/// affordability) plus the market-level fairness summary.
+[[nodiscard]] std::string render_market_report(const MarketReport& report);
+
+}  // namespace leodivide::market

@@ -26,6 +26,9 @@ struct WalkerShell {
 
   /// "53.0:1584/72/1 @ 550km" style description.
   [[nodiscard]] std::string to_string() const;
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const WalkerShell&, const WalkerShell&) = default;
 };
 
 /// Starlink Gen1 first shell (the workhorse shell over the US).

@@ -545,4 +545,178 @@ std::vector<demand::DeltaOp> deserialize_delta_journal(std::string_view file) {
   return ops;
 }
 
+namespace {
+
+void write_sizing(ByteWriter& w, const core::SizingResult& s) {
+  w.f64(s.satellites);
+  w.f64(s.binding_lat_deg);
+  w.u32(s.beams_on_binding);
+  w.u64(s.binding_cell_index);
+}
+
+[[nodiscard]] core::SizingResult read_sizing(ByteReader& r) {
+  core::SizingResult s;
+  s.satellites = r.f64();
+  s.binding_lat_deg = r.f64();
+  s.beams_on_binding = r.u32();
+  s.binding_cell_index = static_cast<std::size_t>(r.u64());
+  return s;
+}
+
+}  // namespace
+
+std::string serialize(const market::MarketReport& report) {
+  ByteWriter ops;
+  ops.u8(static_cast<std::uint8_t>(report.policy));
+  ops.f64(report.beamspread);
+  ops.f64(report.oversub_cap);
+  ops.u64(report.operators.size());
+  for (const market::OperatorOutcome& op : report.operators) {
+    ops.str(op.name);
+    ops.f64(op.economic_share);
+    write_sizing(ops, op.full);
+    write_sizing(ops, op.capped);
+    ops.f64(op.served_cell_fraction);
+    ops.f64(op.served_location_fraction);
+    ops.u64(op.longtail.size());
+    for (const core::LongTailPoint& p : op.longtail) {
+      ops.u64(p.locations_unserved);
+      ops.f64(p.satellites);
+      ops.u32(p.beams_on_binding);
+      ops.f64(p.binding_lat_deg);
+    }
+    ops.u64(op.cost_curve.size());
+    for (const market::MarketCostPoint& p : op.cost_curve) {
+      ops.u64(p.locations_unserved);
+      ops.f64(p.satellites);
+      ops.f64(p.annual_cost_usd);
+      ops.u64(p.locations_served);
+      ops.f64(p.cost_per_location_year_usd);
+    }
+    const afford::PlanAffordability& a = op.affordability;
+    ops.str(a.plan.name);
+    ops.f64(a.plan.monthly_usd);
+    ops.f64(a.plan.speeds.down_mbps);
+    ops.f64(a.plan.speeds.up_mbps);
+    ops.f64(a.income_required_usd);
+    ops.f64(a.locations_unable);
+    ops.f64(a.fraction_unable);
+  }
+
+  const market::FairnessReport& f = report.fairness;
+  ByteWriter fair;
+  fair.u64(f.winner.size());
+  for (std::int32_t wv : f.winner) fair.u32(std::bit_cast<std::uint32_t>(wv));
+  fair.u64(f.operators.size());
+  for (const market::OperatorFairness& of : f.operators) {
+    fair.u64(of.cells_won);
+    fair.u64(of.cells_served);
+    fair.u64(of.locations_served);
+  }
+  fair.f64(f.jain_served_locations);
+  fair.u64(f.unserved_cells);
+  fair.u64(f.unserved_locations);
+  fair.u64(f.capacity_limited_cells);
+  fair.u64(f.split_limited_cells);
+
+  SnapshotWriter sw(ArtifactKind::kMarketReport);
+  sw.add_section("operators", std::move(ops).take());
+  sw.add_section("fairness", std::move(fair).take());
+  return std::move(sw).finish();
+}
+
+market::MarketReport deserialize_market_report(std::string_view file) {
+  const SnapshotReader reader =
+      parse_expecting(file, ArtifactKind::kMarketReport);
+  market::MarketReport out;
+
+  ByteReader ops(reader.section("operators"));
+  const std::uint8_t policy = ops.u8();
+  if (policy > static_cast<std::uint8_t>(market::SplitPolicy::kFairShare)) {
+    throw SnapshotError("market_report: unknown split policy code " +
+                        std::to_string(policy));
+  }
+  out.policy = static_cast<market::SplitPolicy>(policy);
+  out.beamspread = ops.f64();
+  out.oversub_cap = ops.f64();
+  const std::uint64_t n_ops = ops.u64();
+  out.operators.reserve(static_cast<std::size_t>(n_ops));
+  for (std::uint64_t i = 0; i < n_ops; ++i) {
+    market::OperatorOutcome op;
+    op.name = ops.str();
+    op.economic_share = ops.f64();
+    op.full = read_sizing(ops);
+    op.capped = read_sizing(ops);
+    op.served_cell_fraction = ops.f64();
+    op.served_location_fraction = ops.f64();
+    const std::uint64_t n_tail = ops.u64();
+    op.longtail.reserve(static_cast<std::size_t>(n_tail));
+    for (std::uint64_t k = 0; k < n_tail; ++k) {
+      core::LongTailPoint p;
+      p.locations_unserved = ops.u64();
+      p.satellites = ops.f64();
+      p.beams_on_binding = ops.u32();
+      p.binding_lat_deg = ops.f64();
+      op.longtail.push_back(p);
+    }
+    const std::uint64_t n_cost = ops.u64();
+    op.cost_curve.reserve(static_cast<std::size_t>(n_cost));
+    for (std::uint64_t k = 0; k < n_cost; ++k) {
+      market::MarketCostPoint p;
+      p.locations_unserved = ops.u64();
+      p.satellites = ops.f64();
+      p.annual_cost_usd = ops.f64();
+      p.locations_served = ops.u64();
+      p.cost_per_location_year_usd = ops.f64();
+      op.cost_curve.push_back(p);
+    }
+    afford::PlanAffordability& a = op.affordability;
+    a.plan.name = ops.str();
+    a.plan.monthly_usd = ops.f64();
+    a.plan.speeds.down_mbps = ops.f64();
+    a.plan.speeds.up_mbps = ops.f64();
+    a.income_required_usd = ops.f64();
+    a.locations_unable = ops.f64();
+    a.fraction_unable = ops.f64();
+    out.operators.push_back(std::move(op));
+  }
+  ops.expect_exhausted("market_report operators section");
+
+  ByteReader fair(reader.section("fairness"));
+  market::FairnessReport& f = out.fairness;
+  const std::uint64_t n_winner = fair.u64();
+  f.winner.reserve(static_cast<std::size_t>(n_winner));
+  for (std::uint64_t i = 0; i < n_winner; ++i) {
+    const auto wv = std::bit_cast<std::int32_t>(fair.u32());
+    if (wv < -1 || wv >= static_cast<std::int64_t>(n_ops)) {
+      throw SnapshotError("market_report: winner index " + std::to_string(wv) +
+                          " out of range for " + std::to_string(n_ops) +
+                          " operators");
+    }
+    f.winner.push_back(wv);
+  }
+  const std::uint64_t n_fair = fair.u64();
+  if (n_fair != n_ops) {
+    throw SnapshotError(
+        "market_report: fairness rows (" + std::to_string(n_fair) +
+        ") do not match operator count (" + std::to_string(n_ops) + ")");
+  }
+  f.operators.reserve(static_cast<std::size_t>(n_fair));
+  for (std::uint64_t i = 0; i < n_fair; ++i) {
+    market::OperatorFairness of;
+    of.cells_won = fair.u64();
+    of.cells_served = fair.u64();
+    of.locations_served = fair.u64();
+    f.operators.push_back(of);
+  }
+  f.jain_served_locations = fair.f64();
+  f.unserved_cells = fair.u64();
+  f.unserved_locations = fair.u64();
+  f.capacity_limited_cells = fair.u64();
+  f.split_limited_cells = fair.u64();
+  fair.expect_exhausted("market_report fairness section");
+
+  return out;
+}
+
 }  // namespace leodivide::snapshot

@@ -7,6 +7,7 @@
 //   std::vector<sim::EpochCoverage>  (kEpochs    — simulation summaries)
 //   event::EventTrace                (kEventTrace — event-driven run traces)
 //   std::vector<demand::DeltaOp>     (kDeltaJournal — serve/ delta journal)
+//   market::MarketReport             (kMarketReport — multi-operator runs)
 //
 // Round trips are exact: doubles travel as IEEE-754 bit patterns, so
 // deserialize(serialize(x)) == x bit-for-bit and a cached stage can replace
@@ -23,6 +24,7 @@
 #include "leodivide/demand/dataset.hpp"
 #include "leodivide/demand/delta.hpp"
 #include "leodivide/event/trace.hpp"
+#include "leodivide/market/simulation.hpp"
 #include "leodivide/sim/coverage.hpp"
 #include "leodivide/snapshot/format.hpp"
 
@@ -34,6 +36,7 @@ namespace leodivide::snapshot {
 [[nodiscard]] std::string serialize(const std::vector<sim::EpochCoverage>& epochs);
 [[nodiscard]] std::string serialize(const event::EventTrace& trace);
 [[nodiscard]] std::string serialize(const std::vector<demand::DeltaOp>& journal);
+[[nodiscard]] std::string serialize(const market::MarketReport& report);
 
 [[nodiscard]] demand::DemandDataset deserialize_dataset(std::string_view file);
 [[nodiscard]] demand::DemandProfile deserialize_profile(std::string_view file);
@@ -42,6 +45,8 @@ namespace leodivide::snapshot {
     std::string_view file);
 [[nodiscard]] event::EventTrace deserialize_event_trace(std::string_view file);
 [[nodiscard]] std::vector<demand::DeltaOp> deserialize_delta_journal(
+    std::string_view file);
+[[nodiscard]] market::MarketReport deserialize_market_report(
     std::string_view file);
 
 /// Wire codec for one DeltaOp. Shared between the kDeltaJournal artifact

@@ -6,6 +6,7 @@
 #include "leodivide/demand/delta.hpp"
 #include "leodivide/demand/generator.hpp"
 #include "leodivide/event/engine.hpp"
+#include "leodivide/market/simulation.hpp"
 #include "leodivide/sim/simulation.hpp"
 
 namespace leodivide::snapshot {
@@ -128,6 +129,55 @@ void mix(Fingerprint& fp, const event::EventConfig& config) {
   fp.mix_f64(config.window_s)
       .mix_f64(config.eval_slack)
       .mix_f64(config.guard_s);
+}
+
+void mix(Fingerprint& fp, const market::OperatorCosts& costs) {
+  fp.mix_f64(costs.satellite_capex_usd)
+      .mix_f64(costs.launch_capex_usd)
+      .mix_f64(costs.ground_capex_usd)
+      .mix_f64(costs.satellite_lifetime_years)
+      .mix_f64(costs.annual_opex_fraction);
+}
+
+void mix(Fingerprint& fp, const market::OperatorConfig& config) {
+  fp.mix(config.name);
+  fp.mix_u64(config.shells.size());
+  for (const orbit::WalkerShell& s : config.shells) {
+    fp.mix_f64(s.inclination_deg)
+        .mix_f64(s.altitude_km)
+        .mix_u64(s.planes)
+        .mix_u64(s.sats_per_plane)
+        .mix_u64(s.phasing);
+  }
+  fp.mix_u64(config.bands.size());
+  for (const spectrum::Band& b : config.bands) {
+    fp.mix(b.name)
+        .mix_f64(b.lo_ghz)
+        .mix_f64(b.hi_ghz)
+        .mix_u64(b.beams)
+        .mix_u64(static_cast<std::uint64_t>(b.usage));
+  }
+  fp.mix_u64(config.beams_per_full_cell)
+      .mix_f64(config.spectral_efficiency_bps_hz)
+      .mix_f64(config.sizing_inclination_deg)
+      .mix(config.plan.name)
+      .mix_f64(config.plan.monthly_usd)
+      .mix_f64(config.plan.speeds.down_mbps)
+      .mix_f64(config.plan.speeds.up_mbps);
+  mix(fp, config.costs);
+}
+
+void mix(Fingerprint& fp, const market::SpectrumSplitConfig& config) {
+  fp.mix_u64(static_cast<std::uint64_t>(config.policy))
+      .mix_f64(config.zone_deg)
+      .mix_f64(config.priority_weight);
+}
+
+void mix(Fingerprint& fp, const market::MarketConfig& config) {
+  fp.mix_u64(config.operators.size());
+  for (const market::OperatorConfig& op : config.operators) mix(fp, op);
+  mix(fp, config.split);
+  fp.mix_f64(config.beamspread).mix_f64(config.oversub_cap);
 }
 
 void mix(Fingerprint& fp, const demand::DeltaOp& op) {

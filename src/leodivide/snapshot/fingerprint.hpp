@@ -31,6 +31,12 @@ struct SimulationConfig;
 namespace leodivide::event {
 struct EventConfig;
 }
+namespace leodivide::market {
+struct OperatorCosts;
+struct OperatorConfig;
+struct SpectrumSplitConfig;
+struct MarketConfig;
+}
 
 namespace leodivide::snapshot {
 
@@ -77,5 +83,9 @@ void mix(Fingerprint& fp, const core::AnalysisConfig& config);
 void mix(Fingerprint& fp, const sim::SimulationConfig& config);
 void mix(Fingerprint& fp, const event::EventConfig& config);
 void mix(Fingerprint& fp, const demand::DeltaOp& op);
+void mix(Fingerprint& fp, const market::OperatorCosts& costs);
+void mix(Fingerprint& fp, const market::OperatorConfig& config);
+void mix(Fingerprint& fp, const market::SpectrumSplitConfig& config);
+void mix(Fingerprint& fp, const market::MarketConfig& config);
 
 }  // namespace leodivide::snapshot

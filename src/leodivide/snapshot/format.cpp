@@ -28,6 +28,7 @@ std::string_view to_string(ArtifactKind kind) noexcept {
     case ArtifactKind::kEventTrace: return "event_trace";
     case ArtifactKind::kDeltaJournal: return "delta_journal";
     case ArtifactKind::kServePartial: return "serve_partial";
+    case ArtifactKind::kMarketReport: return "market_report";
   }
   return "unknown";
 }
@@ -190,7 +191,7 @@ SnapshotReader SnapshotReader::parse(std::string_view file) {
   }
   const std::uint16_t kind = r.u16();
   if (kind < static_cast<std::uint16_t>(ArtifactKind::kLocations) ||
-      kind > static_cast<std::uint16_t>(ArtifactKind::kServePartial)) {
+      kind > static_cast<std::uint16_t>(ArtifactKind::kMarketReport)) {
     fail("unknown artifact kind " + std::to_string(kind), kMagic.size() + 4);
   }
   out.kind_ = static_cast<ArtifactKind>(kind);

@@ -54,6 +54,7 @@ enum class ArtifactKind : std::uint16_t {
   kEventTrace = 5, ///< event::EventTrace (event-driven run: events+segments)
   kDeltaJournal = 6,  ///< std::vector<demand::DeltaOp> (serve/ delta journal)
   kServePartial = 7,  ///< serve/ per-region sub-stage partial (cache blobs)
+  kMarketReport = 8,  ///< market::MarketReport (multi-operator market run)
 };
 
 /// Human-readable artifact-kind name ("locations", "profile", ...).

@@ -31,6 +31,9 @@ struct Band {
   [[nodiscard]] double width_mhz() const noexcept {
     return (hi_ghz - lo_ghz) * 1000.0;
   }
+
+  /// Exact (bit-level) equality; snapshot round-trip tests rely on it.
+  friend bool operator==(const Band&, const Band&) = default;
 };
 
 /// A full spectrum plan (a set of bands). Provides the aggregates the

@@ -21,6 +21,28 @@ double free_space_path_loss_db(double range_km, double frequency_ghz) {
 }
 
 double carrier_to_noise_db(const LinkBudget& b) {
+  if (!std::isfinite(b.bandwidth_mhz) || b.bandwidth_mhz <= 0.0) {
+    throw std::invalid_argument(
+        "carrier_to_noise_db: bandwidth_mhz must be finite and positive");
+  }
+  if (!std::isfinite(b.eirp_dbw)) {
+    throw std::invalid_argument("carrier_to_noise_db: eirp_dbw must be finite");
+  }
+  if (!std::isfinite(b.system_noise_temp_k) || b.system_noise_temp_k <= 0.0) {
+    throw std::invalid_argument(
+        "carrier_to_noise_db: system_noise_temp_k must be finite and "
+        "positive");
+  }
+  if (!std::isfinite(b.frequency_ghz) || !std::isfinite(b.slant_range_km)) {
+    throw std::invalid_argument(
+        "carrier_to_noise_db: frequency_ghz and slant_range_km must be "
+        "finite");
+  }
+  if (!std::isfinite(b.rx_gain_dbi) || !std::isfinite(b.atmospheric_loss_db) ||
+      !std::isfinite(b.misc_losses_db)) {
+    throw std::invalid_argument(
+        "carrier_to_noise_db: gains and losses must be finite");
+  }
   const double fspl =
       free_space_path_loss_db(b.slant_range_km, b.frequency_ghz);
   const double noise_dbw = kBoltzmannDbwPerHzK +

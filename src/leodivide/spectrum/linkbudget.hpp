@@ -21,7 +21,11 @@ struct LinkBudget {
 [[nodiscard]] double free_space_path_loss_db(double range_km,
                                              double frequency_ghz);
 
-/// Received carrier-to-noise ratio [dB] for the budget.
+/// Received carrier-to-noise ratio [dB] for the budget. Validates the
+/// budget first — non-finite or non-positive bandwidth, noise temperature,
+/// frequency or slant range, and a non-finite EIRP, all throw
+/// std::invalid_argument naming the offending field (a NaN would otherwise
+/// propagate silently through every downstream efficiency figure).
 [[nodiscard]] double carrier_to_noise_db(const LinkBudget& budget);
 
 /// Achievable spectral efficiency [bps/Hz]: the DVB-S2X MODCOD selected at

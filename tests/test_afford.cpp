@@ -172,6 +172,51 @@ TEST(Affordability, EvaluatePaperPlansIsSortedByPrice) {
   }
 }
 
+TEST(Affordability, ZeroIncomeCellsAreAlwaysPricedOut) {
+  // A county reporting zero median income: any positive price is out of
+  // reach, but a free plan (income required $0, inclusive boundary) is not.
+  demand::CountyTable counties;
+  counties.add({"90001", {36.0, -90.0}, 0.0, 100});
+  counties.add({"90002", {37.0, -91.0}, 60000.0, 300});
+  std::vector<demand::CellDemand> cells(2);
+  cells[0].cell = hex::CellId(5, {0, 0});
+  cells[0].county_index = 0;
+  cells[0].underserved = 100;
+  cells[1].cell = hex::CellId(5, {1, 0});
+  cells[1].county_index = 1;
+  cells[1].underserved = 300;
+  const demand::DemandProfile profile(std::move(cells), std::move(counties));
+  const AffordabilityAnalyzer analyzer(profile);
+
+  const PlanAffordability cheap =
+      analyzer.evaluate({"Cheap", 0.01, {100.0, 20.0}});
+  EXPECT_DOUBLE_EQ(cheap.locations_unable, 100.0);
+  EXPECT_NEAR(cheap.fraction_unable, 0.25, 1e-12);
+
+  const PlanAffordability free_plan =
+      analyzer.evaluate({"Free", 0.0, {100.0, 20.0}});
+  EXPECT_DOUBLE_EQ(free_plan.income_required_usd, 0.0);
+  EXPECT_DOUBLE_EQ(free_plan.locations_unable, 0.0);
+  EXPECT_DOUBLE_EQ(free_plan.fraction_unable, 0.0);
+}
+
+TEST(Affordability, PriceAboveEveryThresholdPricesOutEveryone) {
+  // Richest tiny-profile county is $90k: at the 2% rule it affords up to
+  // $150/mo. One dollar past the top tier prices out all 1000 locations.
+  const AffordabilityAnalyzer analyzer(tiny_profile());
+  const PlanAffordability r =
+      analyzer.evaluate({"Platinum", 151.0, {1000.0, 100.0}});
+  EXPECT_DOUBLE_EQ(r.locations_unable, 1000.0);
+  EXPECT_DOUBLE_EQ(r.fraction_unable, 1.0);
+
+  // Exactly at the top tier's threshold the boundary is inclusive: the
+  // $90k county (600 locations) can still afford it.
+  const PlanAffordability at_top =
+      analyzer.evaluate({"AtTop", 150.0, {1000.0, 100.0}});
+  EXPECT_DOUBLE_EQ(at_top.locations_unable, 400.0);
+  EXPECT_NEAR(at_top.fraction_unable, 0.4, 1e-12);
+}
+
 TEST(Affordability, CurveRejectsBadArguments) {
   const AffordabilityAnalyzer analyzer(tiny_profile());
   EXPECT_THROW(analyzer.curve(starlink_residential(), 0.05, 1),

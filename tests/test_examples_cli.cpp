@@ -67,10 +67,30 @@ INSTANTIATE_TEST_SUITE_P(AllExamples, ExamplesCli,
                                            "coverage_sim",
                                            "affordability_report",
                                            "constellation_planner",
-                                           "quickstart"),
+                                           "quickstart",
+                                           "market_compare"),
                          [](const auto& info) {
                            return std::string(info.param);
                          });
+
+TEST(ExamplesCli, MarketCompareBadScaleRejected) {
+  const std::string binary = example_path("market_compare");
+  if (!fs::exists(binary)) {
+    GTEST_SKIP() << binary << " not built";
+  }
+  const RunResult r = run_command(binary + " --scale=not-a-number");
+  EXPECT_EQ(r.exit_code, 2) << "non-numeric --scale accepted:\n" << r.output;
+}
+
+TEST(ExamplesCli, MarketCompareBadThreadsRejected) {
+  const std::string binary = example_path("market_compare");
+  if (!fs::exists(binary)) {
+    GTEST_SKIP() << binary << " not built";
+  }
+  const RunResult r = run_command(binary + " --threads zero");
+  EXPECT_EQ(r.exit_code, 2) << "bad --threads accepted:\n" << r.output;
+  EXPECT_NE(r.output.find("--threads"), std::string::npos) << r.output;
+}
 
 TEST(ExamplesCli, EngineFlagUnknownValueRejected) {
   const std::string binary = example_path("coverage_sim");

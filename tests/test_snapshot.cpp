@@ -20,6 +20,7 @@
 #include "leodivide/io/csv.hpp"
 #include "leodivide/io/fileio.hpp"
 #include "leodivide/io/json.hpp"
+#include "leodivide/market/market.hpp"
 #include "leodivide/runtime/executor.hpp"
 #include "leodivide/runtime/thread_pool.hpp"
 #include "leodivide/sim/simulation.hpp"
@@ -102,6 +103,47 @@ event::EventTrace small_trace() {
        {99, 95, 4.0, 18.0, 0.95}},
   };
   return t;
+}
+
+market::MarketReport small_market_report() {
+  // Two fully-populated operator outcomes: every field participates in the
+  // round trip.
+  market::MarketReport r;
+  r.policy = market::SplitPolicy::kFairShare;
+  r.beamspread = 10.0;
+  r.oversub_cap = 20.0;
+  market::OperatorOutcome a;
+  a.name = "starlink";
+  a.economic_share = 0.85;
+  a.full = {9563.0, 36.9, 4, 2};
+  a.capped = {9621.0, 37.1, 3, 1};
+  a.served_cell_fraction = 0.97;
+  a.served_location_fraction = 0.74;
+  a.longtail = {{5103, 1925.0, 4, 36.9}, {9000, 1800.0, 3, 38.2}};
+  a.cost_curve = {{9000, 1800.0, 4.5e8, 41000, 10975.6},
+                  {5103, 1925.0, 4.8e8, 44897, 10691.2}};
+  a.affordability = {{"Starlink Residential", 120.0, {100.0, 20.0}},
+                     72000.0, 1327000.0, 0.563};
+  market::OperatorOutcome b;
+  b.name = "oneweb";
+  b.economic_share = 0.5;
+  b.full = {17937.0, 49.0, 2, 0};
+  b.capped = {19811.0, 48.5, 2, 0};
+  b.served_cell_fraction = 0.38;
+  b.served_location_fraction = 0.02;
+  b.longtail = {{1200, 900.0, 2, 49.0}};
+  b.cost_curve = {{1200, 900.0, 2.1e8, 7000, 30000.0}};
+  b.affordability = {{"oneweb_community", 99.0, {150.0, 20.0}},
+                     59400.0, 900000.0, 0.42};
+  r.operators = {std::move(a), std::move(b)};
+  r.fairness.winner = {0, 1, -1, 0};
+  r.fairness.operators = {{2, 3, 881}, {1, 1, 61}};
+  r.fairness.jain_served_locations = 0.69;
+  r.fairness.unserved_cells = 1;
+  r.fairness.unserved_locations = 120;
+  r.fairness.capacity_limited_cells = 1;
+  r.fairness.split_limited_cells = 0;
+  return r;
 }
 
 // ------------------------------------------------------- byte primitives --
@@ -264,6 +306,16 @@ TEST(Artifacts, EventTraceRoundTripExact) {
   EXPECT_EQ(snapshot::deserialize_event_trace(blob), trace);
 }
 
+TEST(Artifacts, MarketReportRoundTripExact) {
+  const market::MarketReport report = small_market_report();
+  const std::string blob = snapshot::serialize(report);
+  const snapshot::SnapshotReader reader =
+      snapshot::SnapshotReader::parse(blob);
+  EXPECT_EQ(reader.kind(), snapshot::ArtifactKind::kMarketReport);
+  EXPECT_EQ(to_string(reader.kind()), "market_report");
+  EXPECT_EQ(snapshot::deserialize_market_report(blob), report);
+}
+
 TEST(Artifacts, SerializationIsDeterministic) {
   EXPECT_EQ(snapshot::serialize(small_profile()),
             snapshot::serialize(small_profile()));
@@ -271,6 +323,8 @@ TEST(Artifacts, SerializationIsDeterministic) {
             snapshot::serialize(small_analysis()));
   EXPECT_EQ(snapshot::serialize(small_trace()),
             snapshot::serialize(small_trace()));
+  EXPECT_EQ(snapshot::serialize(small_market_report()),
+            snapshot::serialize(small_market_report()));
 }
 
 // -------------------------------------------------------- adversarial input
@@ -402,6 +456,68 @@ TEST(Adversarial, EventTraceUnknownEventKindRejected) {
                snapshot::SnapshotError);
 }
 
+TEST(Adversarial, MarketEveryTruncationFailsTyped) {
+  const std::string blob = snapshot::serialize(small_market_report());
+  for (std::size_t len = 0; len < blob.size();
+       len += (len < 64 ? 1 : 37)) {
+    EXPECT_THROW(
+        (void)snapshot::deserialize_market_report(blob.substr(0, len)),
+        snapshot::SnapshotError)
+        << "prefix length " << len << " parsed";
+  }
+}
+
+TEST(Adversarial, MarketBitFlipFailsChecksumTyped) {
+  const std::string blob = snapshot::serialize(small_market_report());
+  for (std::size_t pos = 0; pos < blob.size(); pos += 41) {
+    std::string bad = blob;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    EXPECT_THROW((void)snapshot::deserialize_market_report(bad),
+                 snapshot::SnapshotError)
+        << "bit flip at " << pos << " parsed";
+  }
+}
+
+TEST(Adversarial, MarketUnknownPolicyRejected) {
+  // A container-valid snapshot whose policy byte is out of range must fail
+  // the semantic re-validation, not produce a bogus enum value.
+  market::MarketReport report = small_market_report();
+  report.policy = static_cast<market::SplitPolicy>(9);
+  EXPECT_THROW(
+      (void)snapshot::deserialize_market_report(snapshot::serialize(report)),
+      snapshot::SnapshotError);
+}
+
+TEST(Adversarial, MarketWinnerIndexOutOfRangeRejected) {
+  market::MarketReport report = small_market_report();
+  report.fairness.winner[1] = 7;  // only 2 operators
+  EXPECT_THROW(
+      (void)snapshot::deserialize_market_report(snapshot::serialize(report)),
+      snapshot::SnapshotError);
+  report = small_market_report();
+  report.fairness.winner[1] = -2;  // only -1 means "unserved"
+  EXPECT_THROW(
+      (void)snapshot::deserialize_market_report(snapshot::serialize(report)),
+      snapshot::SnapshotError);
+}
+
+TEST(Adversarial, MarketFairnessRowCountMismatchRejected) {
+  market::MarketReport report = small_market_report();
+  report.fairness.operators.pop_back();  // 1 row for 2 operators
+  EXPECT_THROW(
+      (void)snapshot::deserialize_market_report(snapshot::serialize(report)),
+      snapshot::SnapshotError);
+}
+
+TEST(Adversarial, MarketKindMismatchRejected) {
+  EXPECT_THROW((void)snapshot::deserialize_market_report(
+                   snapshot::serialize(small_profile())),
+               snapshot::SnapshotError);
+  EXPECT_THROW((void)snapshot::deserialize_profile(
+                   snapshot::serialize(small_market_report())),
+               snapshot::SnapshotError);
+}
+
 TEST(Adversarial, UnknownTechnologyRejected) {
   snapshot::ByteWriter counties;
   counties.u64(1);
@@ -479,6 +595,59 @@ TEST(Fingerprints, EventConfigFieldsChangeTheDigest) {
   snapshot::Fingerprint fc = snapshot::stage_fingerprint("sim.event");
   snapshot::mix(fc, again);
   EXPECT_EQ(fa.digest(), fc.digest());
+}
+
+TEST(Fingerprints, MarketConfigFieldsChangeTheDigest) {
+  market::MarketConfig base;
+  base.operators = market::default_market();
+  snapshot::Fingerprint fa = snapshot::stage_fingerprint("market.report");
+  snapshot::mix(fa, base);
+
+  // The same config hashes the same...
+  {
+    market::MarketConfig again;
+    again.operators = market::default_market();
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("market.report");
+    snapshot::mix(fp, again);
+    EXPECT_EQ(fa.digest(), fp.digest());
+  }
+  // ...and every kind of field change lands in the digest: a plan price,
+  // a band edge, a cost input, the sharing policy, a sweep parameter.
+  {
+    market::MarketConfig c = base;
+    c.operators[0].plan.monthly_usd += 1.0;
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("market.report");
+    snapshot::mix(fp, c);
+    EXPECT_NE(fa.digest(), fp.digest());
+  }
+  {
+    market::MarketConfig c = base;
+    c.operators[1].bands[0].hi_ghz += 0.1;
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("market.report");
+    snapshot::mix(fp, c);
+    EXPECT_NE(fa.digest(), fp.digest());
+  }
+  {
+    market::MarketConfig c = base;
+    c.operators[2].costs.annual_opex_fraction += 0.01;
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("market.report");
+    snapshot::mix(fp, c);
+    EXPECT_NE(fa.digest(), fp.digest());
+  }
+  {
+    market::MarketConfig c = base;
+    c.split.policy = market::SplitPolicy::kFairShare;
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("market.report");
+    snapshot::mix(fp, c);
+    EXPECT_NE(fa.digest(), fp.digest());
+  }
+  {
+    market::MarketConfig c = base;
+    c.beamspread = 5.0;
+    snapshot::Fingerprint fp = snapshot::stage_fingerprint("market.report");
+    snapshot::mix(fp, c);
+    EXPECT_NE(fa.digest(), fp.digest());
+  }
 }
 
 TEST(Fingerprints, HexIs16LowercaseDigits) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "leodivide/spectrum/band.hpp"
 #include "leodivide/spectrum/beamplan.hpp"
@@ -121,6 +123,57 @@ TEST(LinkBudgetTest, MoreBandwidthLowersCn) {
   LinkBudget wide;
   wide.bandwidth_mhz = narrow.bandwidth_mhz * 4.0;
   EXPECT_GT(carrier_to_noise_db(narrow), carrier_to_noise_db(wide));
+}
+
+TEST(LinkBudgetTest, RejectsNonPositiveBandwidth) {
+  LinkBudget budget;
+  budget.bandwidth_mhz = 0.0;
+  EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+  budget.bandwidth_mhz = -240.0;
+  EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+}
+
+TEST(LinkBudgetTest, RejectsNonFiniteInputs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  {
+    LinkBudget budget;
+    budget.bandwidth_mhz = nan;
+    EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+  }
+  {
+    LinkBudget budget;
+    budget.eirp_dbw = inf;
+    EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+  }
+  {
+    LinkBudget budget;
+    budget.system_noise_temp_k = nan;
+    EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+  }
+  {
+    LinkBudget budget;
+    budget.slant_range_km = inf;
+    EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+  }
+  {
+    LinkBudget budget;
+    budget.misc_losses_db = nan;
+    EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+  }
+}
+
+TEST(LinkBudgetTest, RejectsNonPositiveNoiseTemperature) {
+  LinkBudget budget;
+  budget.system_noise_temp_k = 0.0;
+  EXPECT_THROW(carrier_to_noise_db(budget), std::invalid_argument);
+}
+
+TEST(LinkBudgetTest, BoundaryBandwidthStillFinite) {
+  // A tiny but positive bandwidth is legal and yields a finite (large) C/N.
+  LinkBudget budget;
+  budget.bandwidth_mhz = 1e-6;
+  EXPECT_TRUE(std::isfinite(carrier_to_noise_db(budget)));
 }
 
 // ---------------------------------------------------------------- beamplan ----

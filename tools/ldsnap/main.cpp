@@ -84,6 +84,9 @@ void deep_verify(const std::string& file) {
       // Serve partials are engine-internal (serve/incremental.cpp owns the
       // section layout), so the container parse above is the whole check.
       break;
+    case snapshot::ArtifactKind::kMarketReport:
+      (void)snapshot::deserialize_market_report(file);
+      break;
   }
 }
 
