@@ -11,6 +11,7 @@
 #include "leodivide/obs/trace.hpp"
 #include "leodivide/runtime/executor.hpp"
 #include "leodivide/runtime/map_reduce.hpp"
+#include "leodivide/runtime/task_graph.hpp"
 
 namespace leodivide::market {
 
@@ -327,17 +328,29 @@ MarketReport MarketSimulation::run(const demand::DemandProfile& profile,
   report.beamspread = config_.beamspread;
   report.oversub_cap = config_.oversub_cap;
   report.operators.resize(n);
-  // Operators are independent; each runs its whole pipeline serially so
-  // operator-level parallelism is the unit of scaling, and results land in
-  // config order regardless of task interleaving.
-  // leolint:allow(parallel-capture): each task writes only its own report.operators[i] slot
-  executor.run_tasks(n, [&](std::size_t i) {
-    report.operators[i] = run_operator(profile, analyzer, split, config_,
-                                       zones[i], i,
-                                       runtime::serial_executor());
-  });
-  report.fairness =
-      compute_fairness(profile, zones, full_limits, split, executor);
+  // Operators are independent of each other *and* of the fairness report —
+  // fairness depends only on the zone models, limits and split, never on
+  // operator outcomes — so all n + 1 units run as one dependency-free task
+  // graph: on a pool the fairness pass overlaps the operator pipelines
+  // instead of barriering behind them. Each node runs its inner loops
+  // serially and writes only its own slot, so the report lands in config
+  // order byte-identically at every thread count (golden-tested).
+  runtime::TaskGraph graph;
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.add_task("market.operator",
+                   [&report, &profile, &analyzer, &split, &zones, this, i] {
+                     report.operators[i] =
+                         run_operator(profile, analyzer, split, config_,
+                                      zones[i], i, runtime::serial_executor());
+                   });
+  }
+  graph.add_task("market.fairness",
+                 [&report, &profile, &zones, &full_limits, &split] {
+                   report.fairness =
+                       compute_fairness(profile, zones, full_limits, split,
+                                        runtime::serial_executor());
+                 });
+  graph.run(executor);
   return report;
 }
 

@@ -23,6 +23,13 @@ struct ThreadPool::Batch {
 
 namespace {
 
+// True while the current thread is executing a pool task (any pool). Set by
+// run_one around the task body so a nested run_tasks can detect re-entrancy
+// and run its batch inline instead of enqueuing behind unrelated work —
+// helping blindly from inside a task can adopt entire foreign batches,
+// growing the stack without bound and serialising behind long tasks.
+thread_local bool tl_in_pool_task = false;
+
 // Observability slow path: queue-wait accounting plus a per-worker span
 // around the task body. Runs the task exactly like the fast path — spans
 // only read the clock and append to thread-local buffers, so the batch
@@ -67,15 +74,19 @@ std::size_t ThreadPool::concurrency() const noexcept {
 }
 
 void ThreadPool::run_one(Batch& batch, std::size_t index) {
+  const bool outer = tl_in_pool_task;
+  tl_in_pool_task = true;
   try {
     if (obs::observability_enabled()) [[unlikely]] {
       run_task_instrumented(*batch.task, batch.enqueue_ns, index);
     } else {
       (*batch.task)(index);
     }
+    tl_in_pool_task = outer;
     std::lock_guard<std::mutex> lk(batch.m);
     if (--batch.remaining == 0) batch.done.notify_all();
   } catch (...) {
+    tl_in_pool_task = outer;
     std::lock_guard<std::mutex> lk(batch.m);
     if (!batch.error || index < batch.error_index) {
       batch.error = std::current_exception();
@@ -99,9 +110,21 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::inside_pool_task() noexcept { return tl_in_pool_task; }
+
 void ThreadPool::run_tasks(std::size_t n,
                            const std::function<void(std::size_t)>& task) {
   if (n == 0) return;
+  if (tl_in_pool_task) {
+    // Re-entrant call from inside a pool task: run the nested batch inline
+    // on this thread, in index order with serial semantics (the first throw
+    // propagates, which is by construction the lowest-indexed one). This
+    // keeps nested parallel_for calls deadlock-free and bounds the stack —
+    // the old path enqueued the chunks and helped drain the shared queue,
+    // which could pick up whole unrelated batches before its own.
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
   Batch batch;
   batch.task = &task;
   batch.remaining = n;

@@ -34,10 +34,17 @@ class ThreadPool final : public Executor {
   [[nodiscard]] std::size_t concurrency() const noexcept override;
 
   /// Batch execution per the Executor contract. Re-entrant calls from
-  /// inside a worker task run the nested batch inline on that worker (in
-  /// index order) instead of deadlocking on the queue.
+  /// inside a pool task (worker or helping caller, any pool) detect the
+  /// nesting and run the batch inline on the current thread in index order
+  /// with serial semantics — never enqueued, never deadlocked, stack
+  /// bounded by the nesting depth rather than the queue contents.
   void run_tasks(std::size_t n,
                  const std::function<void(std::size_t)>& task) override;
+
+  /// True while the calling thread is executing a pool task (the state that
+  /// makes run_tasks go inline). Exposed for the re-entrancy regression
+  /// tests.
+  [[nodiscard]] static bool inside_pool_task() noexcept;
 
  private:
   struct Batch;  // one run_tasks invocation's shared state

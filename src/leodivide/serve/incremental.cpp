@@ -109,12 +109,14 @@ void count_metric(const char* name, std::uint64_t n = 1) {
 
 IncrementalEngine::IncrementalEngine(demand::DemandProfile baseline,
                                      EngineConfig config,
-                                     snapshot::StageCache* cache)
+                                     snapshot::StageCache* cache,
+                                     snapshot::AsyncIo* io)
     : config_(config),
       grid_(),
       profile_(std::move(baseline)),
       applier_(profile_, grid_, config_.cell_resolution),
-      cache_(cache) {
+      cache_(cache),
+      io_(io) {
   const auto& cells = profile_.cells();
   cell_region_.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -229,36 +231,33 @@ const IncrementalEngine::SizingPartial& IncrementalEngine::sizing_partial(
   }
   ++stats_.partial_misses;
   count_metric("serve.partial_misses");
-  if (cache_ != nullptr) {
-    snapshot::Fingerprint fp =
-        snapshot::substage_fingerprint("serve.sizing", "region");
-    mix(fp, config_.model);
-    fp.mix_f64(beamspread)
-        .mix_f64(oversub_cap)
-        .mix_u64(regions_[region].digest);
-    const auto [best, found] = cache_->get_or_compute(
-        "serve.sizing", fp,
-        [&] {
-          ++stats_.region_recomputes;
-          count_metric("serve.region_recomputes");
-          const SizingPartial fresh =
-              compute_sizing_partial(regions_[region], beamspread, oversub_cap);
-          return std::pair<core::SizingResult, bool>{fresh.best, fresh.found};
-        },
-        [](const std::pair<core::SizingResult, bool>& v) {
-          return serialize_sizing_blob(v.first, v.second);
-        },
-        deserialize_sizing_blob);
-    p.best = best;
-    p.found = found;
-  } else {
-    ++stats_.region_recomputes;
-    count_metric("serve.region_recomputes");
-    const SizingPartial fresh =
-        compute_sizing_partial(regions_[region], beamspread, oversub_cap);
-    p.best = fresh.best;
-    p.found = fresh.found;
-  }
+  snapshot::Fingerprint fp =
+      snapshot::substage_fingerprint("serve.sizing", "region");
+  mix(fp, config_.model);
+  fp.mix_f64(beamspread)
+      .mix_f64(oversub_cap)
+      .mix_u64(regions_[region].digest);
+  // staged_compute handles both the cached and cache-off (null) cases, and
+  // routes the blob store through io_ when one is attached so the query
+  // never waits on the filesystem.
+  const auto [best, found] =
+      snapshot::staged_compute(
+          cache_, io_, "serve.sizing", fp,
+          [&] {
+            ++stats_.region_recomputes;
+            count_metric("serve.region_recomputes");
+            const SizingPartial fresh = compute_sizing_partial(
+                regions_[region], beamspread, oversub_cap);
+            return std::pair<core::SizingResult, bool>{fresh.best,
+                                                       fresh.found};
+          },
+          [](const std::pair<core::SizingResult, bool>& v) {
+            return serialize_sizing_blob(v.first, v.second);
+          },
+          deserialize_sizing_blob)
+          .value;
+  p.best = best;
+  p.found = found;
   p.valid = true;
   p.digest = regions_[region].digest;
   return p;
@@ -294,36 +293,28 @@ const IncrementalEngine::PeakPartial& IncrementalEngine::peak_partial(
   }
   ++stats_.partial_misses;
   count_metric("serve.partial_misses");
-  if (cache_ != nullptr) {
-    snapshot::Fingerprint fp =
-        snapshot::substage_fingerprint("serve.peak", "region");
-    fp.mix_u64(regions_[region].digest);
-    const auto [max_count, best_cell_bits, cell_index] =
-        cache_->get_or_compute(
-            "serve.peak", fp,
-            [&] {
-              ++stats_.region_recomputes;
-              count_metric("serve.region_recomputes");
-              const PeakPartial fresh = compute_peak_partial(regions_[region]);
-              return std::tuple<std::uint32_t, std::uint64_t, std::size_t>{
-                  fresh.max_count, fresh.best_cell_bits, fresh.cell_index};
-            },
-            [](const std::tuple<std::uint32_t, std::uint64_t, std::size_t>& v) {
-              return serialize_peak_blob(std::get<0>(v), std::get<1>(v),
-                                         std::get<2>(v));
-            },
-            deserialize_peak_blob);
-    p.max_count = max_count;
-    p.best_cell_bits = best_cell_bits;
-    p.cell_index = cell_index;
-  } else {
-    ++stats_.region_recomputes;
-    count_metric("serve.region_recomputes");
-    const PeakPartial fresh = compute_peak_partial(regions_[region]);
-    p.max_count = fresh.max_count;
-    p.best_cell_bits = fresh.best_cell_bits;
-    p.cell_index = fresh.cell_index;
-  }
+  snapshot::Fingerprint fp =
+      snapshot::substage_fingerprint("serve.peak", "region");
+  fp.mix_u64(regions_[region].digest);
+  const auto [max_count, best_cell_bits, cell_index] =
+      snapshot::staged_compute(
+          cache_, io_, "serve.peak", fp,
+          [&] {
+            ++stats_.region_recomputes;
+            count_metric("serve.region_recomputes");
+            const PeakPartial fresh = compute_peak_partial(regions_[region]);
+            return std::tuple<std::uint32_t, std::uint64_t, std::size_t>{
+                fresh.max_count, fresh.best_cell_bits, fresh.cell_index};
+          },
+          [](const std::tuple<std::uint32_t, std::uint64_t, std::size_t>& v) {
+            return serialize_peak_blob(std::get<0>(v), std::get<1>(v),
+                                       std::get<2>(v));
+          },
+          deserialize_peak_blob)
+          .value;
+  p.max_count = max_count;
+  p.best_cell_bits = best_cell_bits;
+  p.cell_index = cell_index;
   p.valid = true;
   p.digest = regions_[region].digest;
   return p;
@@ -428,33 +419,27 @@ const IncrementalEngine::ServedPartial& IncrementalEngine::served_partial(
   }
   ++stats_.partial_misses;
   count_metric("serve.partial_misses");
-  if (cache_ != nullptr) {
-    snapshot::Fingerprint fp =
-        snapshot::substage_fingerprint("serve.served", "region");
-    fp.mix_u64(limit).mix_u64(regions_[region].digest);
-    const auto [served_cells, served_locations] = cache_->get_or_compute(
-        "serve.served", fp,
-        [&] {
-          ++stats_.region_recomputes;
-          count_metric("serve.region_recomputes");
-          const ServedPartial fresh =
-              compute_served_partial(regions_[region], limit);
-          return std::pair<std::uint64_t, std::uint64_t>{
-              fresh.served_cells, fresh.served_locations};
-        },
-        [](const std::pair<std::uint64_t, std::uint64_t>& v) {
-          return serialize_served_blob(v.first, v.second);
-        },
-        deserialize_served_blob);
-    p.served_cells = served_cells;
-    p.served_locations = served_locations;
-  } else {
-    ++stats_.region_recomputes;
-    count_metric("serve.region_recomputes");
-    const ServedPartial fresh = compute_served_partial(regions_[region], limit);
-    p.served_cells = fresh.served_cells;
-    p.served_locations = fresh.served_locations;
-  }
+  snapshot::Fingerprint fp =
+      snapshot::substage_fingerprint("serve.served", "region");
+  fp.mix_u64(limit).mix_u64(regions_[region].digest);
+  const auto [served_cells, served_locations] =
+      snapshot::staged_compute(
+          cache_, io_, "serve.served", fp,
+          [&] {
+            ++stats_.region_recomputes;
+            count_metric("serve.region_recomputes");
+            const ServedPartial fresh =
+                compute_served_partial(regions_[region], limit);
+            return std::pair<std::uint64_t, std::uint64_t>{
+                fresh.served_cells, fresh.served_locations};
+          },
+          [](const std::pair<std::uint64_t, std::uint64_t>& v) {
+            return serialize_served_blob(v.first, v.second);
+          },
+          deserialize_served_blob)
+          .value;
+  p.served_cells = served_cells;
+  p.served_locations = served_locations;
   p.valid = true;
   p.digest = regions_[region].digest;
   return p;

@@ -8,6 +8,7 @@
 #include "leodivide/geo/angle.hpp"
 #include "leodivide/obs/metrics.hpp"
 #include "leodivide/obs/trace.hpp"
+#include "leodivide/orbit/kernels.hpp"
 #include "leodivide/sim/beam.hpp"
 
 namespace leodivide::sim {
@@ -115,6 +116,7 @@ void BeamScheduler::schedule(const std::vector<orbit::SatState>& sats,
   ws.unit_x.resize(sats.size());
   ws.unit_y.resize(sats.size());
   ws.unit_z.resize(sats.size());
+  ws.visible.resize(sats.size());
   for (std::size_t si = 0; si < sats.size(); ++si) {
     const geo::Vec3 u = sats[si].ecef_km.unit();
     ws.unit_x[si] = u.x;
@@ -136,6 +138,15 @@ void BeamScheduler::schedule(const std::vector<orbit::SatState>& sats,
     ws.index.query_unsorted(cell.center, ws.candidates);
     candidates_scanned += ws.candidates.size();
 
+    // SIMD exact-visibility compaction: keep the candidates whose unit dot
+    // with the cell radial passes cos_psi, in candidate order. The kernel
+    // is bit-identical to the scalar test it replaced (tests/test_simd.cpp)
+    // so the survivor sequence — and therefore the schedule — is unchanged.
+    const std::size_t n_visible = orbit::filter_visible(
+        cell_unit.x, cell_unit.y, cell_unit.z, ws.unit_x.data(),
+        ws.unit_y.data(), ws.unit_z.data(), ws.candidates.data(),
+        ws.candidates.size(), cos_psi, ws.visible.data());
+
     // Selection is order-independent: the naive ascending scan with strict
     // improvement picks the lowest-indexed feasible satellite attaining
     // the best slack (max for kMostSlack, min for kBestFit, any for
@@ -145,12 +156,8 @@ void BeamScheduler::schedule(const std::vector<orbit::SatState>& sats,
     // equivalence suite).
     std::int64_t best_sat = -1;
     std::uint32_t best_slack = 0;
-    for (const std::uint32_t si : ws.candidates) {
-      if (cell_unit.x * ws.unit_x[si] + cell_unit.y * ws.unit_y[si] +
-              cell_unit.z * ws.unit_z[si] <
-          cos_psi) {
-        continue;  // not visible (exact test; the index only pre-filters)
-      }
+    for (std::size_t vi = 0; vi < n_visible; ++vi) {
+      const std::uint32_t si = ws.visible[vi];
       const std::uint32_t slack = ws.budgets[si].slack();
       if (slack == 0) continue;
       // Whole-beam cells need enough free whole beams.

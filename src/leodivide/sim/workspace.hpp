@@ -43,6 +43,7 @@ struct ScheduleWorkspace {
   std::vector<double> unit_y;
   std::vector<double> unit_z;
   std::vector<std::uint32_t> candidates;  ///< per-cell index query output
+  std::vector<std::uint32_t> visible;     ///< SIMD-compacted visible subset
   std::vector<orbit::SatState> states;    ///< propagate_all target
   std::vector<std::uint32_t> sat_dedup;   ///< summarize_epoch scratch
 };

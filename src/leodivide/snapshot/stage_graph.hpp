@@ -1,0 +1,180 @@
+#pragma once
+// Cache-aware stage DAG: the task-graph runtime driven by the same
+// upstream-digest edges the snapshot fingerprints have always encoded. Each
+// stage declares its config mix and its upstream stages; at run time the
+// stage's fingerprint is stage_fingerprint(name) + the config mix + the
+// blob digests of its dependencies in declaration order — exactly the
+// fingerprint recipe the sequential pipeline uses, so a stage restored from
+// cache and a stage recomputed feed identical digests downstream, and
+// graph-scheduled results are byte-identical to the sequential reference at
+// every thread count (golden-tested in tests/test_task_graph.cpp).
+//
+// Independent stages overlap on the executor, root-stage loads are
+// prefetched through AsyncIo at graph-build time, and stores run behind
+// compute on the I/O thread; run() drains, so every artifact is on disk
+// when it returns. Both the cache and the AsyncIo are optional — a null
+// cache turns the graph into pure compute, a null AsyncIo makes I/O
+// synchronous inside each stage node.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "leodivide/runtime/task_graph.hpp"
+#include "leodivide/snapshot/async.hpp"
+#include "leodivide/snapshot/cache.hpp"
+#include "leodivide/snapshot/fingerprint.hpp"
+
+namespace leodivide::snapshot {
+
+class StageGraph {
+  /// Type-erased per-stage result metadata, shared with Stage handles.
+  struct DigestSlot {
+    std::uint64_t digest = 0;
+    bool restored = false;
+  };
+
+  template <typename T>
+  struct Slot : DigestSlot {
+    std::optional<T> value;
+  };
+
+ public:
+  /// Typed handle to a stage's output. Copyable; value() is valid once
+  /// run() has executed (or restored) the stage.
+  template <typename T>
+  class Stage {
+   public:
+    [[nodiscard]] const T& value() const {
+      if (!slot_->value.has_value()) {
+        throw std::logic_error("StageGraph::Stage: value read before run()");
+      }
+      return *slot_->value;
+    }
+    [[nodiscard]] std::uint64_t digest() const noexcept {
+      return slot_->digest;
+    }
+    [[nodiscard]] bool restored() const noexcept { return slot_->restored; }
+    [[nodiscard]] runtime::TaskGraph::TaskId id() const noexcept {
+      return id_;
+    }
+
+   private:
+    friend class StageGraph;
+    Stage(std::shared_ptr<Slot<T>> slot, runtime::TaskGraph::TaskId id)
+        : slot_(std::move(slot)), id_(id) {}
+    std::shared_ptr<Slot<T>> slot_;
+    runtime::TaskGraph::TaskId id_ = 0;
+  };
+
+  /// Type-erased dependency reference; any Stage<T> converts implicitly.
+  class StageRef {
+   public:
+    template <typename T>
+    StageRef(const Stage<T>& stage)  // NOLINT(google-explicit-constructor)
+        : id_(stage.id()), digest_(stage.slot_) {}
+
+   private:
+    friend class StageGraph;
+    runtime::TaskGraph::TaskId id_;
+    std::shared_ptr<const DigestSlot> digest_;
+  };
+
+  /// Both optional: null cache = pure compute, null io = synchronous I/O.
+  explicit StageGraph(const StageCache* cache = nullptr,
+                      AsyncIo* io = nullptr)
+      : cache_(cache), io_(io) {}
+
+  /// Adds a cached stage. `name` must have static storage duration (it is
+  /// the cache stage name and the trace span label). `mix(Fingerprint&)`
+  /// folds the stage's own config; upstream blob digests are mixed
+  /// automatically in `deps` order. `extra_deps` adds plain scheduling
+  /// edges (no digest) on tasks added via add_task. Dependency-free stages
+  /// are prefetched through the AsyncIo immediately.
+  template <typename Mix, typename Compute, typename Serialize,
+            typename Deserialize>
+  auto add_stage(const char* name, const std::vector<StageRef>& deps,
+                 Mix mix, Compute compute, Serialize serialize,
+                 Deserialize deserialize,
+                 const std::vector<runtime::TaskGraph::TaskId>& extra_deps =
+                     {}) -> Stage<decltype(compute())> {
+    using T = decltype(compute());
+    auto slot = std::make_shared<Slot<T>>();
+    std::vector<std::shared_ptr<const DigestSlot>> upstream;
+    upstream.reserve(deps.size());
+    std::vector<runtime::TaskGraph::TaskId> dep_ids;
+    dep_ids.reserve(deps.size() + extra_deps.size());
+    for (const StageRef& d : deps) {
+      upstream.push_back(d.digest_);
+      dep_ids.push_back(d.id_);
+    }
+    for (const runtime::TaskGraph::TaskId id : extra_deps) {
+      dep_ids.push_back(id);
+    }
+    AsyncIo::Ticket ticket;
+    if (deps.empty() && cache_ != nullptr && io_ != nullptr) {
+      ticket = io_->prefetch(*cache_, name, fingerprint_of(name, mix, {}));
+    }
+    const runtime::TaskGraph::TaskId id = graph_.add_task(
+        name,
+        [this, name, mix, compute, serialize, deserialize, slot, upstream,
+         ticket]() {
+          const Fingerprint fp = fingerprint_of(name, mix, upstream);
+          Staged<T> staged = staged_compute(cache_, io_, name, fp, compute,
+                                            serialize, deserialize, ticket);
+          slot->value = std::move(staged.value);
+          slot->digest = staged.blob_digest;
+          slot->restored = staged.restored;
+        },
+        dep_ids);
+    return Stage<T>(std::move(slot), id);
+  }
+
+  /// Adds a plain (uncached) node — glue work between stages, e.g. writing
+  /// a derived report. Mixed stage/task dependencies go through the ids.
+  runtime::TaskGraph::TaskId add_task(
+      const char* name, std::function<void()> fn,
+      const std::vector<runtime::TaskGraph::TaskId>& deps = {}) {
+    return graph_.add_task(name, std::move(fn), deps);
+  }
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return graph_.task_count();
+  }
+
+  /// Runs the DAG on `ex` (see TaskGraph::run for the determinism and
+  /// failure contract), then drains the AsyncIo so every store enqueued by
+  /// the run is on disk before this returns.
+  void run(runtime::Executor& ex) {
+    try {
+      graph_.run(ex);
+    } catch (...) {
+      if (io_ != nullptr) io_->drain();
+      throw;
+    }
+    if (io_ != nullptr) io_->drain();
+  }
+
+ private:
+  template <typename Mix>
+  [[nodiscard]] Fingerprint fingerprint_of(
+      const char* name, const Mix& mix,
+      const std::vector<std::shared_ptr<const DigestSlot>>& upstream) const {
+    Fingerprint fp = stage_fingerprint(name);
+    mix(fp);
+    for (const auto& d : upstream) fp.mix_u64(d->digest);
+    return fp;
+  }
+
+  runtime::TaskGraph graph_;
+  const StageCache* cache_;
+  AsyncIo* io_;
+};
+
+}  // namespace leodivide::snapshot

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <optional>
@@ -204,6 +205,49 @@ TEST(ThreadPool, NestedRunTasksDoesNotDeadlock) {
     pool.run_tasks(8, [&](std::size_t) { ++count; });
   });
   EXPECT_EQ(count.load(), 32);
+}
+
+// Regression: a batch submitted from inside a pool task must run inline on
+// the calling thread (serial, index order), never re-enter the shared
+// queue — re-entrant submission could deadlock once every worker was stuck
+// waiting on a nested batch.
+TEST(ThreadPool, NestedRunTasksRunsInlineInIndexOrder) {
+  runtime::ThreadPool pool(2);
+  EXPECT_FALSE(runtime::ThreadPool::inside_pool_task());
+  std::atomic<bool> saw_inside{false};
+  std::atomic<bool> nested_in_order{true};
+  std::atomic<std::uint64_t> nested_runs{0};
+  pool.run_tasks(4, [&](std::size_t) {
+    saw_inside = saw_inside.load() || runtime::ThreadPool::inside_pool_task();
+    // Runs inline: strictly sequential on this thread, so a plain local
+    // suffices to check index order.
+    std::size_t next = 0;
+    pool.run_tasks(16, [&](std::size_t i) {
+      if (i != next++) nested_in_order = false;
+      ++nested_runs;
+    });
+    if (next != 16) nested_in_order = false;
+  });
+  EXPECT_TRUE(saw_inside.load());
+  EXPECT_TRUE(nested_in_order.load());
+  EXPECT_EQ(nested_runs.load(), 64U);
+  EXPECT_FALSE(runtime::ThreadPool::inside_pool_task());
+}
+
+// Nested parallel_for over a pool must also degrade to inline execution —
+// this is what makes TaskGraph node bodies free to call parallel helpers.
+TEST(ThreadPool, NestedParallelForWritesEverySlot) {
+  runtime::ThreadPool pool(4);
+  std::vector<int> out(4 * 64, 0);
+  pool.run_tasks(4, [&](std::size_t task) {
+    runtime::parallel_for_each(
+        pool, 0, 64,
+        [&](std::size_t i) { out[task * 64 + i] = static_cast<int>(i) + 1; },
+        /*grain=*/8);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i % 64) + 1) << "slot " << i;
+  }
 }
 
 TEST(SerialExecutor, RunsInIndexOrder) {

@@ -154,6 +154,57 @@ class BenchCheckCli(unittest.TestCase):
         proc = self.run_check()
         self.assertEqual(proc.returncode, 2)
 
+    def test_median_speedup_is_reported_not_gated_nor_matched(self):
+        # A harness line carrying median_speedup must still match a
+        # baseline case without it (timing fields never enter the case
+        # key), the median must print as a diagnostic, and a median below
+        # the gate must not fail while best-of passes.
+        lines = HARNESS_LINES + "\n" + json.dumps(
+            {
+                "bench": "graph.pipeline",
+                "chains": 4,
+                "seq_ms": 100.0,
+                "graph_ms": 25.0,
+                "speedup": 4.0,
+                "median_speedup": 1.1,
+            }
+        )
+        output = self.write("median_output.txt", lines)
+        path = self.write_baseline(
+            "b.json",
+            baseline(
+                [{"chains": 4, "graph_ms": 30.0, "speedup": 3.9}],
+                bench="graph.pipeline",
+                min_speedup=2.0,
+            ),
+        )
+        proc = self.run_check(output, path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("median_speedup 1.10x", proc.stdout)
+        self.assertIn("informational", proc.stdout)
+
+    def test_median_speedup_baseline_value_shown_for_context(self):
+        lines = HARNESS_LINES + "\n" + json.dumps(
+            {
+                "bench": "graph.pipeline",
+                "chains": 4,
+                "speedup": 4.0,
+                "median_speedup": 3.5,
+            }
+        )
+        output = self.write("median_output.txt", lines)
+        path = self.write_baseline(
+            "b.json",
+            baseline(
+                [{"chains": 4, "speedup": 3.9, "median_speedup": 3.4}],
+                bench="graph.pipeline",
+            ),
+        )
+        proc = self.run_check(output, path)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("median_speedup 3.50x", proc.stdout)
+        self.assertIn("baseline 3.40x", proc.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()
